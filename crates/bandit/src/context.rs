@@ -1,0 +1,136 @@
+//! Context-vector scaling.
+//!
+//! Policy networks train best on roughly unit-scale inputs. The univariate
+//! context (`{min, max, mean, std}` of a day) and the multivariate context
+//! (LSTM encoder states) are both standardised with statistics fitted on the
+//! policy-training corpus.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension standardiser for context vectors.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_bandit::ContextScaler;
+///
+/// let contexts = vec![vec![0.0, 10.0], vec![2.0, 30.0], vec![4.0, 50.0]];
+/// let scaler = ContextScaler::fit(&contexts);
+/// let z = scaler.transform(&[2.0, 30.0]);
+/// assert!(z.iter().all(|v| v.abs() < 1e-6)); // the mean maps to 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl ContextScaler {
+    /// Fits per-dimension mean/std on a corpus of context vectors.
+    ///
+    /// Zero-variance dimensions get `σ = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty or dimensionalities are inconsistent.
+    pub fn fit(contexts: &[Vec<f32>]) -> Self {
+        assert!(!contexts.is_empty(), "no contexts to fit");
+        let d = contexts[0].len();
+        assert!(d > 0, "empty context vectors");
+        let n = contexts.len() as f32;
+        let mut mean = vec![0.0f32; d];
+        for c in contexts {
+            assert_eq!(c.len(), d, "inconsistent context dimensionality");
+            for (m, &x) in mean.iter_mut().zip(c.iter()) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; d];
+        for c in contexts {
+            for ((v, &m), &x) in var.iter_mut().zip(mean.iter()).zip(c.iter()) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Context dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardises one context vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn transform(&self, context: &[f32]) -> Vec<f32> {
+        assert_eq!(context.len(), self.dim(), "context dimension mismatch");
+        context
+            .iter()
+            .zip(self.mean.iter())
+            .zip(self.std.iter())
+            .map(|((&x, &m), &s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardises a whole corpus.
+    pub fn transform_all(&self, contexts: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        contexts.iter().map(|c| self.transform(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_variance_after_transform() {
+        let contexts: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, 100.0 - i as f32]).collect();
+        let scaler = ContextScaler::fit(&contexts);
+        let z = scaler.transform_all(&contexts);
+        for d in 0..2 {
+            let vals: Vec<f32> = z.iter().map(|c| c[d]).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let contexts = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let scaler = ContextScaler::fit(&contexts);
+        for c in &contexts {
+            assert_eq!(scaler.transform(c)[0], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no contexts")]
+    fn empty_corpus_panics() {
+        let _ = ContextScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent context dimensionality")]
+    fn ragged_corpus_panics() {
+        let _ = ContextScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

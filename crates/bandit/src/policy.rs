@@ -1,0 +1,248 @@
+//! The REINFORCE policy network (§II-B, Fig. 2).
+//!
+//! *"we build the policy network as a single hidden neural network with 100
+//! hidden units and an output layer with 3 units"* (§III-B). The network
+//! maps the context `z_x` to logits whose softmax is the categorical policy
+//! `π_θ(a | z_x) = ∏_k s_k^{a_k}`; the selected action is
+//! `argmax_k s_k` at evaluation time and a sample from the distribution
+//! during training.
+
+use rand::Rng;
+
+use hec_nn::{Activation, Dense, Optimizer, Sequential};
+use hec_tensor::{vecops, Matrix};
+
+/// The policy network `f_θ(z_x) → s ∈ Δ^{K-1}`.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_bandit::PolicyNetwork;
+///
+/// let mut policy = PolicyNetwork::new(4, 100, 3, 7);
+/// let probs = policy.probabilities(&[0.0, 1.0, 0.5, 0.2]);
+/// assert_eq!(probs.len(), 3);
+/// ```
+pub struct PolicyNetwork {
+    net: Sequential,
+    input_dim: usize,
+    num_actions: usize,
+}
+
+impl PolicyNetwork {
+    /// Builds the network: `Dense(input → hidden, ReLU)` then
+    /// `Dense(hidden → actions, linear)` with softmax applied on top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `num_actions < 2`.
+    pub fn new(input_dim: usize, hidden: usize, num_actions: usize, seed: u64) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "dimensions must be non-zero");
+        assert!(num_actions >= 2, "need at least two actions");
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Sequential::new(vec![
+            Box::new(Dense::new_he(&mut rng, input_dim, hidden, Activation::Relu)),
+            Box::new(Dense::new(&mut rng, hidden, num_actions, Activation::Linear)),
+        ]);
+        Self { net, input_dim, num_actions }
+    }
+
+    /// Context dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of actions K (HEC layers).
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.net.param_count()
+    }
+
+    /// The policy `π_θ(· | context)` as a probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != input_dim`.
+    pub fn probabilities(&mut self, context: &[f32]) -> Vec<f32> {
+        assert_eq!(context.len(), self.input_dim, "context dimension mismatch");
+        let logits = self.net.predict(&Matrix::row_vector(context));
+        vecops::softmax(logits.as_slice())
+    }
+
+    /// Samples an action from the policy (training-time exploration).
+    pub fn sample(&mut self, context: &[f32], rng: &mut impl Rng) -> usize {
+        let probs = self.probabilities(context);
+        let u: f32 = rng.gen();
+        let mut acc = 0.0f32;
+        for (k, &p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return k;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// The greedy action `|a| = argmax_k s_k` (evaluation-time selection).
+    pub fn greedy(&mut self, context: &[f32]) -> usize {
+        vecops::argmax(&self.probabilities(context))
+    }
+
+    /// One REINFORCE update minimising `−advantage · log π_θ(action | ctx)`:
+    /// backpropagates `advantage · (π − e_action)` through the network and
+    /// applies the optimizer.
+    ///
+    /// Returns `log π_θ(action | ctx)` *before* the update (useful for
+    /// monitoring convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != input_dim` or `action >= num_actions`.
+    pub fn reinforce_update(
+        &mut self,
+        context: &[f32],
+        action: usize,
+        advantage: f32,
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
+        assert_eq!(context.len(), self.input_dim, "context dimension mismatch");
+        assert!(action < self.num_actions, "action out of range");
+        let logits = self.net.forward_training(&Matrix::row_vector(context));
+        let probs = vecops::softmax(logits.as_slice());
+        let log_prob = probs[action].max(1e-12).ln();
+
+        let mut dlogits: Vec<f32> = probs.iter().map(|&p| advantage * p).collect();
+        dlogits[action] -= advantage;
+        let grad = Matrix::row_vector(&dlogits);
+        let _ = self.net.backward(&grad);
+        self.net.apply_gradients(optimizer);
+        log_prob
+    }
+}
+
+impl std::fmt::Debug for PolicyNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PolicyNetwork({} → {} actions, params={})",
+            self.input_dim,
+            self.num_actions,
+            self.param_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hec_nn::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_form_distribution() {
+        let mut p = PolicyNetwork::new(4, 16, 3, 0);
+        let probs = p.probabilities(&[0.5, -0.5, 1.0, 0.0]);
+        assert_eq!(probs.len(), 3);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(probs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn paper_dimensions() {
+        // 4 context features → 100 hidden → 3 actions.
+        let p = PolicyNetwork::new(4, 100, 3, 0);
+        assert_eq!(p.param_count(), 4 * 100 + 100 + 100 * 3 + 3);
+    }
+
+    #[test]
+    fn reinforce_increases_probability_of_rewarded_action() {
+        let mut p = PolicyNetwork::new(2, 16, 3, 1);
+        let ctx = [0.3, -0.7];
+        let before = p.probabilities(&ctx)[2];
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..50 {
+            p.reinforce_update(&ctx, 2, 1.0, &mut opt);
+        }
+        let after = p.probabilities(&ctx)[2];
+        assert!(after > before, "P(a=2) did not increase: {before} -> {after}");
+        assert!(after > 0.9, "P(a=2) = {after} not dominant after training");
+    }
+
+    #[test]
+    fn negative_advantage_decreases_probability() {
+        let mut p = PolicyNetwork::new(2, 16, 3, 2);
+        let ctx = [1.0, 1.0];
+        let before = p.probabilities(&ctx)[0];
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..50 {
+            p.reinforce_update(&ctx, 0, -1.0, &mut opt);
+        }
+        let after = p.probabilities(&ctx)[0];
+        assert!(after < before, "P(a=0) did not decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn policy_is_context_dependent_after_training() {
+        // Reward action 0 in context A and action 2 in context B.
+        let mut p = PolicyNetwork::new(2, 32, 3, 3);
+        let ctx_a = [1.0, 0.0];
+        let ctx_b = [0.0, 1.0];
+        let mut opt = Sgd::new(0.05);
+        for _ in 0..200 {
+            p.reinforce_update(&ctx_a, 0, 1.0, &mut opt);
+            p.reinforce_update(&ctx_b, 2, 1.0, &mut opt);
+        }
+        assert_eq!(p.greedy(&ctx_a), 0);
+        assert_eq!(p.greedy(&ctx_b), 2);
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let mut p = PolicyNetwork::new(2, 16, 3, 4);
+        let ctx = [0.2, 0.8];
+        let probs = p.probabilities(&ctx);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[p.sample(&ctx, &mut rng)] += 1;
+        }
+        for k in 0..3 {
+            let freq = counts[k] as f32 / 3000.0;
+            assert!(
+                (freq - probs[k]).abs() < 0.05,
+                "action {k}: sampled {freq} vs π {}",
+                probs[k]
+            );
+        }
+    }
+
+    #[test]
+    fn log_prob_is_returned() {
+        let mut p = PolicyNetwork::new(2, 8, 3, 5);
+        let mut opt = Sgd::new(0.01);
+        let lp = p.reinforce_update(&[0.1, 0.1], 1, 0.5, &mut opt);
+        assert!(lp < 0.0, "log-prob must be negative, got {lp}");
+        assert!(lp > -10.0, "log-prob suspiciously small: {lp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "context dimension mismatch")]
+    fn wrong_context_width_panics() {
+        let mut p = PolicyNetwork::new(4, 8, 3, 0);
+        let _ = p.probabilities(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "action out of range")]
+    fn bad_action_panics() {
+        let mut p = PolicyNetwork::new(2, 8, 3, 0);
+        let mut opt = Sgd::new(0.01);
+        let _ = p.reinforce_update(&[0.0, 0.0], 3, 1.0, &mut opt);
+    }
+}

@@ -1,0 +1,268 @@
+//! REINFORCE training with the reinforcement-comparison baseline.
+//!
+//! §II-B: *"To reduce the variance of reward value and increase the
+//! convergence rate, we utilize reinforcement comparison [11] with a baseline
+//! R(ã, z_x)"* — i.e. the advantage fed to the policy gradient is the reward
+//! minus a running reference reward (Williams 1992, Sutton & Barto §2.8).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use hec_nn::Adam;
+
+use crate::policy::PolicyNetwork;
+
+/// The reinforcement-comparison baseline: an exponentially-weighted running
+/// mean of observed rewards, `r̄ ← r̄ + β (r − r̄)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReinforcementComparison {
+    reference: f32,
+    beta: f32,
+    initialized: bool,
+}
+
+impl ReinforcementComparison {
+    /// Creates a baseline with smoothing step `β ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < beta <= 1`.
+    pub fn new(beta: f32) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Self { reference: 0.0, beta, initialized: false }
+    }
+
+    /// Current reference reward `r̄`.
+    pub fn reference(&self) -> f32 {
+        self.reference
+    }
+
+    /// Computes the advantage `r − r̄` and then updates `r̄`.
+    pub fn advantage_and_update(&mut self, reward: f32) -> f32 {
+        if !self.initialized {
+            // Seed the reference with the first observation so the first
+            // advantage is 0 rather than a full-magnitude spike.
+            self.reference = reward;
+            self.initialized = true;
+            return 0.0;
+        }
+        let advantage = reward - self.reference;
+        self.reference += self.beta * (reward - self.reference);
+        advantage
+    }
+}
+
+/// Training hyper-parameters for [`PolicyTrainer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Passes over the context set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Baseline smoothing β.
+    pub baseline_beta: f32,
+    /// Whether to use the reinforcement-comparison baseline (the paper does;
+    /// `false` gives plain REINFORCE for the ablation bench).
+    pub use_baseline: bool,
+    /// Sampling / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 30, learning_rate: 1e-3, baseline_beta: 0.05, use_baseline: true, seed: 0 }
+    }
+}
+
+/// Per-epoch mean rewards — the policy's learning curve (used by the
+/// convergence-ablation bench).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingCurve {
+    /// Mean observed reward per epoch, in training order.
+    pub mean_reward_per_epoch: Vec<f32>,
+}
+
+impl TrainingCurve {
+    /// Mean reward of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn final_reward(&self) -> f32 {
+        *self.mean_reward_per_epoch.last().expect("empty training curve")
+    }
+}
+
+/// Trains a [`PolicyNetwork`] on a corpus of contexts against a black-box
+/// reward oracle (the oracle hides the AD models, delays and labels).
+pub struct PolicyTrainer {
+    policy: PolicyNetwork,
+    baseline: ReinforcementComparison,
+    optimizer: Adam,
+    rng: StdRng,
+    config: TrainConfig,
+}
+
+impl PolicyTrainer {
+    /// Creates a trainer that owns the policy.
+    pub fn new(policy: PolicyNetwork, config: TrainConfig) -> Self {
+        Self {
+            baseline: ReinforcementComparison::new(config.baseline_beta),
+            optimizer: Adam::new(config.learning_rate),
+            rng: StdRng::seed_from_u64(config.seed),
+            policy,
+            config,
+        }
+    }
+
+    /// Immutable access to the policy.
+    pub fn policy(&self) -> &PolicyNetwork {
+        &self.policy
+    }
+
+    /// Mutable access to the policy (e.g. for greedy evaluation mid-run).
+    pub fn policy_mut(&mut self) -> &mut PolicyNetwork {
+        &mut self.policy
+    }
+
+    /// Consumes the trainer, returning the trained policy.
+    pub fn into_policy(self) -> PolicyNetwork {
+        self.policy
+    }
+
+    /// One REINFORCE step on a single context: sample an action, query the
+    /// reward oracle, update baseline and policy. Returns `(action, reward)`.
+    pub fn step(
+        &mut self,
+        context: &[f32],
+        reward_of: &mut dyn FnMut(usize) -> f32,
+    ) -> (usize, f32) {
+        let action = self.policy.sample(context, &mut self.rng);
+        let reward = reward_of(action);
+        let advantage = if self.config.use_baseline {
+            self.baseline.advantage_and_update(reward)
+        } else {
+            reward
+        };
+        self.policy.reinforce_update(context, action, advantage, &mut self.optimizer);
+        (action, reward)
+    }
+
+    /// Trains for `config.epochs` passes over `contexts`; the oracle is
+    /// called as `reward_of(context_index, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty.
+    pub fn train(
+        &mut self,
+        contexts: &[Vec<f32>],
+        reward_of: &mut dyn FnMut(usize, usize) -> f32,
+    ) -> TrainingCurve {
+        assert!(!contexts.is_empty(), "no training contexts");
+        let mut curve = Vec::with_capacity(self.config.epochs);
+        let mut order: Vec<usize> = (0..contexts.len()).collect();
+        for _ in 0..self.config.epochs {
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut self.rng);
+            let mut total = 0.0f32;
+            for &i in &order {
+                let (_, r) = self.step(&contexts[i], &mut |a| reward_of(i, a));
+                total += r;
+            }
+            curve.push(total / contexts.len() as f32);
+        }
+        TrainingCurve { mean_reward_per_epoch: curve }
+    }
+}
+
+impl std::fmt::Debug for PolicyTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PolicyTrainer({:?}, baseline_ref={:.4})", self.policy, self.baseline.reference())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_tracks_rewards() {
+        let mut b = ReinforcementComparison::new(0.5);
+        assert_eq!(b.advantage_and_update(1.0), 0.0); // seeds the reference
+        assert_eq!(b.reference(), 1.0);
+        let adv = b.advantage_and_update(2.0);
+        assert!((adv - 1.0).abs() < 1e-6);
+        assert!((b.reference() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn baseline_reduces_advantage_magnitude_over_time() {
+        let mut b = ReinforcementComparison::new(0.2);
+        let mut last_adv = f32::INFINITY;
+        for _ in 0..20 {
+            last_adv = b.advantage_and_update(3.0);
+        }
+        assert!(last_adv.abs() < 0.1, "advantage should decay to 0 for constant rewards");
+    }
+
+    #[test]
+    fn trainer_learns_context_dependent_optimum() {
+        // Context [1,0] → action 0 pays; context [0,1] → action 2 pays.
+        let contexts: Vec<Vec<f32>> = (0..40)
+            .map(|i| if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] })
+            .collect();
+        let mut reward = |i: usize, a: usize| -> f32 {
+            let best = if i % 2 == 0 { 0 } else { 2 };
+            if a == best {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let policy = PolicyNetwork::new(2, 32, 3, 9);
+        let mut trainer = PolicyTrainer::new(
+            policy,
+            TrainConfig { epochs: 60, learning_rate: 5e-3, ..Default::default() },
+        );
+        let curve = trainer.train(&contexts, &mut reward);
+        assert!(
+            curve.final_reward() > 0.85,
+            "final mean reward {} too low",
+            curve.final_reward()
+        );
+        let policy = trainer.policy_mut();
+        assert_eq!(policy.greedy(&[1.0, 0.0]), 0);
+        assert_eq!(policy.greedy(&[0.0, 1.0]), 2);
+    }
+
+    #[test]
+    fn curve_improves_on_average() {
+        let contexts: Vec<Vec<f32>> = (0..20).map(|_| vec![0.5, 0.5]).collect();
+        let mut reward = |_i: usize, a: usize| if a == 1 { 1.0 } else { -0.2 };
+        let policy = PolicyNetwork::new(2, 16, 3, 5);
+        let mut trainer = PolicyTrainer::new(
+            policy,
+            TrainConfig { epochs: 40, learning_rate: 5e-3, ..Default::default() },
+        );
+        let curve = trainer.train(&contexts, &mut reward);
+        let early: f32 = curve.mean_reward_per_epoch[..5].iter().sum::<f32>() / 5.0;
+        let late: f32 = curve.mean_reward_per_epoch[35..].iter().sum::<f32>() / 5.0;
+        assert!(late > early, "no improvement: early {early}, late {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training contexts")]
+    fn empty_contexts_panics() {
+        let policy = PolicyNetwork::new(2, 8, 3, 0);
+        let mut trainer = PolicyTrainer::new(policy, TrainConfig::default());
+        let _ = trainer.train(&[], &mut |_, _| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in")]
+    fn invalid_beta_rejected() {
+        let _ = ReinforcementComparison::new(0.0);
+    }
+}

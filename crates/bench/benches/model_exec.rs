@@ -1,0 +1,67 @@
+//! Criterion bench: per-model inference time of this Rust implementation —
+//! the analogue of Table I's "Exec time" row, measured on the build machine
+//! instead of the Pi/TX2/Devbox (the testbed-calibrated values live in
+//! `hec_sim::DatasetKind::paper_exec_ms`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hec_anomaly::ModelCatalog;
+use hec_data::LabeledWindow;
+use hec_tensor::Matrix;
+
+fn ramp_window(n: usize) -> LabeledWindow {
+    let v: Vec<f32> = (0..n).map(|t| (t as f32 / n as f32).sin()).collect();
+    LabeledWindow::new(Matrix::from_vec(n, 1, v), false)
+}
+
+fn multi_window(steps: usize) -> LabeledWindow {
+    let data: Vec<f32> = (0..steps * 18).map(|i| ((i % 97) as f32 * 0.07).sin()).collect();
+    LabeledWindow::new(Matrix::from_vec(steps, 18, data), false)
+}
+
+fn bench_univariate(c: &mut Criterion) {
+    let mut catalog = ModelCatalog::univariate(96, 0);
+    let train: Vec<LabeledWindow> = (0..24).map(|_| ramp_window(96)).collect();
+    for det in catalog.detectors_mut() {
+        det.fit(&train, 20).expect("fit");
+    }
+    let window = ramp_window(96);
+    let mut group = c.benchmark_group("table1_exec_univariate");
+    for layer in 0..3 {
+        let name = catalog.detectors_mut()[layer].name().to_owned();
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let d = catalog.detectors_mut()[layer].detect(black_box(&window));
+                black_box(d)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multivariate(c: &mut Criterion) {
+    // Hidden size 16 keeps the bench minutes-scale; relative ordering
+    // (IoT < Edge < Cloud cost) is what we check.
+    let mut catalog = ModelCatalog::multivariate(18, 16, 0);
+    let train: Vec<LabeledWindow> = (0..6).map(|_| multi_window(64)).collect();
+    for det in catalog.detectors_mut() {
+        det.fit(&train, 3).expect("fit");
+    }
+    let window = multi_window(64);
+    let mut group = c.benchmark_group("table1_exec_multivariate");
+    group.sample_size(20);
+    for layer in 0..3 {
+        let name = catalog.detectors_mut()[layer].name().to_owned();
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let d = catalog.detectors_mut()[layer].detect(black_box(&window));
+                black_box(d)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_univariate, bench_multivariate);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: policy-network inference and update latency.
+//!
+//! The paper's design constraint (§III-B): "The policy network requires low
+//! complexity and needs to run fast on IoT devices". This bench quantifies
+//! the selection overhead our Adaptive scheme adds on the IoT device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hec_bandit::PolicyNetwork;
+use hec_nn::Adam;
+
+fn bench_policy(c: &mut Criterion) {
+    // The paper's exact shape: 4 context features -> 100 hidden -> 3 actions.
+    let mut policy = PolicyNetwork::new(4, 100, 3, 0);
+    let ctx = [0.3f32, -0.8, 0.5, 1.2];
+
+    c.bench_function("policy_greedy_selection", |b| {
+        b.iter(|| black_box(policy.greedy(black_box(&ctx))))
+    });
+
+    c.bench_function("policy_probabilities", |b| {
+        b.iter(|| black_box(policy.probabilities(black_box(&ctx))))
+    });
+
+    let mut opt = Adam::new(1e-3);
+    c.bench_function("policy_reinforce_update", |b| {
+        b.iter(|| black_box(policy.reinforce_update(black_box(&ctx), 1, 0.5, &mut opt)))
+    });
+
+    // The multivariate context is wider (encoder state, 32 dims here).
+    let mut wide = PolicyNetwork::new(32, 100, 3, 0);
+    let wide_ctx = vec![0.1f32; 32];
+    c.bench_function("policy_greedy_selection_wide_context", |b| {
+        b.iter(|| black_box(wide.greedy(black_box(&wide_ctx))))
+    });
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

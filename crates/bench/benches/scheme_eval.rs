@@ -1,0 +1,65 @@
+//! Criterion bench: scheme-evaluation throughput over a frozen oracle —
+//! how fast Table II rows regenerate once the models are trained, and the
+//! relative cost of the Successive escalation logic vs fixed placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hec_anomaly::ConfidenceRule;
+use hec_bandit::{ContextScaler, PolicyNetwork, RewardModel};
+use hec_core::{Oracle, SchemeEvaluator, SchemeKind, WindowOutcome};
+use hec_sim::{DatasetKind, HecTopology};
+
+fn synthetic_oracle(n: usize) -> Oracle {
+    let outcomes = (0..n)
+        .map(|i| {
+            let truth = i % 5 == 0;
+            let easy = i % 2 == 0;
+            let lp = if truth { -40.0 } else { -2.0 };
+            let frac = if truth { 0.2 } else { 0.0 };
+            WindowOutcome {
+                truth,
+                min_log_pd: [if easy { lp } else { -8.0 }, lp, lp],
+                anomalous_fraction: [if easy { frac } else { 0.0 }, frac, frac],
+                context: vec![easy as u8 as f32, (i % 7) as f32, 0.5, 1.0],
+            }
+        })
+        .collect();
+    Oracle {
+        outcomes,
+        thresholds: [-10.0; 3],
+        flag_fraction: 0.0,
+        confidence: ConfidenceRule::default(),
+    }
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
+    let oracle = synthetic_oracle(1000);
+    let ev = SchemeEvaluator::new(&topo, 384, RewardModel::new(0.0005));
+
+    let mut group = c.benchmark_group("scheme_eval_1000_windows");
+    group.bench_function("fixed_cloud", |b| {
+        b.iter(|| black_box(ev.evaluate(SchemeKind::Cloud, black_box(&oracle), None, None)))
+    });
+    group.bench_function("successive", |b| {
+        b.iter(|| black_box(ev.evaluate(SchemeKind::Successive, black_box(&oracle), None, None)))
+    });
+
+    let scaler = ContextScaler::fit(&oracle.contexts());
+    let mut policy = PolicyNetwork::new(4, 100, 3, 0);
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            black_box(ev.evaluate(
+                SchemeKind::Adaptive,
+                black_box(&oracle),
+                Some(&mut policy),
+                Some(&scaler),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: numerical substrate hot paths (matmul, LSTM step,
+//! Gaussian logPD) — the operations every experiment spends its time in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hec_nn::{Lstm, LstmState};
+use hec_tensor::{Gaussian, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = hec_tensor::init::uniform(&mut rng, 96, 64, -1.0, 1.0);
+    let b = hec_tensor::init::uniform(&mut rng, 64, 96, -1.0, 1.0);
+    c.bench_function("matmul_96x64x96", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+
+    let at = hec_tensor::init::uniform(&mut rng, 64, 96, -1.0, 1.0);
+    c.bench_function("t_matmul_96x64x96", |bch| {
+        bch.iter(|| black_box(black_box(&at).t_matmul(black_box(&b))))
+    });
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut lstm = Lstm::new(&mut rng, 18, 64);
+    let x = hec_tensor::init::uniform(&mut rng, 1, 18, -1.0, 1.0);
+    let state = LstmState::zeros(1, 64);
+    c.bench_function("lstm_step_18_to_64", |b| {
+        b.iter(|| black_box(lstm.step(black_box(&x), black_box(&state), false)))
+    });
+
+    let xs: Vec<Matrix> =
+        (0..128).map(|_| hec_tensor::init::uniform(&mut rng, 1, 18, -1.0, 1.0)).collect();
+    c.bench_function("lstm_forward_seq_128x18_to_64", |b| {
+        b.iter(|| black_box(lstm.forward_seq(black_box(&xs), false)))
+    });
+}
+
+fn bench_gaussian(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples = hec_tensor::init::uniform(&mut rng, 256, 18, -0.1, 0.1);
+    let g = Gaussian::fit(&samples, 1e-4).expect("fit");
+    let x = vec![0.05f32; 18];
+    c.bench_function("gaussian_log_pdf_18d", |b| {
+        b.iter(|| black_box(g.log_pdf(black_box(&x)).expect("dims")))
+    });
+
+    c.bench_function("gaussian_fit_256x18", |b| {
+        b.iter(|| black_box(Gaussian::fit(black_box(&samples), 1e-4).expect("fit")))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_lstm_step, bench_gaussian);
+criterion_main!(benches);

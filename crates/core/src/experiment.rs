@@ -1,0 +1,412 @@
+//! The end-to-end experiment pipeline.
+//!
+//! Mirrors the paper's procedure: generate the dataset → standardise →
+//! split (§III-A) → train the three AD models on normal data → calibrate
+//! the logPD scorers → precompute the frozen oracle → train the policy
+//! network on the policy-training split → evaluate all five schemes on the
+//! whole dataset (Tables I and II).
+
+use hec_anomaly::ModelCatalog;
+use hec_bandit::{ContextScaler, PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig, TrainingCurve};
+use hec_data::{
+    mhealth::{Activity, MhealthConfig, MhealthGenerator},
+    paper_split,
+    power::{PowerConfig, PowerGenerator},
+    standardize::Standardizer,
+    BinaryConfusion, LabeledWindow, PaperSplit,
+};
+use hec_sim::{DatasetKind, HecTopology};
+use hec_tensor::Matrix;
+
+use crate::oracle::Oracle;
+use crate::report::{Table1Row, Table2Row};
+use crate::scheme::{SchemeEvaluator, SchemeKind};
+
+/// Which dataset to run, with its generator configuration.
+#[derive(Debug, Clone)]
+pub enum DatasetConfig {
+    /// Synthetic power-demand data and the autoencoder catalog.
+    Univariate(PowerConfig),
+    /// Synthetic MHEALTH-like data and the seq2seq catalog.
+    Multivariate(MhealthConfig),
+}
+
+impl DatasetConfig {
+    /// The dataset family.
+    pub fn kind(&self) -> DatasetKind {
+        match self {
+            DatasetConfig::Univariate(_) => DatasetKind::Univariate,
+            DatasetConfig::Multivariate(_) => DatasetKind::Multivariate,
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Dataset and generator parameters.
+    pub dataset: DatasetConfig,
+    /// Training epochs for the AD models.
+    pub ad_epochs: usize,
+    /// Policy-network training hyper-parameters.
+    pub policy: TrainConfig,
+    /// Hidden units of the IoT seq2seq model (multivariate only; the edge
+    /// model doubles this and the cloud model is bidirectional, §II-A2).
+    pub seq2seq_hidden: usize,
+    /// Hidden units of the policy network (paper: 100).
+    pub policy_hidden: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Default univariate configuration (sized for release-mode runs).
+    pub fn univariate() -> Self {
+        Self {
+            dataset: DatasetConfig::Univariate(PowerConfig::default()),
+            ad_epochs: 150,
+            policy: TrainConfig { epochs: 40, learning_rate: 1e-3, ..Default::default() },
+            seq2seq_hidden: 32,
+            policy_hidden: 100,
+            seed: 42,
+        }
+    }
+
+    /// Default multivariate configuration (sized for release-mode runs).
+    pub fn multivariate() -> Self {
+        Self {
+            dataset: DatasetConfig::Multivariate(MhealthConfig {
+                subjects: 4,
+                session_len: 512,
+                normal_session_multiplier: 6,
+                ..Default::default()
+            }),
+            ad_epochs: 15,
+            policy: TrainConfig { epochs: 30, learning_rate: 1e-3, ..Default::default() },
+            seq2seq_hidden: 32,
+            policy_hidden: 100,
+            seed: 42,
+        }
+    }
+
+    /// Payload size of one window in bytes (f32 samples over the socket).
+    pub fn payload_bytes(&self) -> usize {
+        match &self.dataset {
+            DatasetConfig::Univariate(c) => c.samples_per_day * 4,
+            DatasetConfig::Multivariate(c) => c.window * 18 * 4,
+        }
+    }
+}
+
+/// Everything the harness needs to print Tables I and II and the figures.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Dataset family this report covers.
+    pub kind: DatasetKind,
+    /// Table I rows (per-model comparison).
+    pub table1: Vec<Table1Row>,
+    /// Table II rows (per-scheme comparison).
+    pub table2: Vec<Table2Row>,
+    /// The policy network's learning curve.
+    pub training_curve: TrainingCurve,
+    /// Adaptive scheme's action histogram (windows per layer).
+    pub adaptive_actions: [usize; 3],
+    /// Number of windows in the evaluation corpus.
+    pub eval_windows: usize,
+}
+
+/// A fully assembled experiment, exposing each pipeline stage.
+pub struct Experiment {
+    config: ExperimentConfig,
+    topology: HecTopology,
+    /// The standardised, split corpora.
+    pub split: PaperSplit,
+    catalog: ModelCatalog,
+    thresholds: [f32; 3],
+}
+
+impl Experiment {
+    /// Stage 1–2: generate, standardise and split the dataset; build the
+    /// (untrained) model catalog and the calibrated testbed topology.
+    pub fn prepare(config: ExperimentConfig) -> Self {
+        let kind = config.dataset.kind();
+        let topology = HecTopology::paper_testbed(kind);
+        let (windows, class_of): (Vec<LabeledWindow>, Vec<Option<usize>>) = match &config.dataset
+        {
+            DatasetConfig::Univariate(power) => {
+                let gen = PowerGenerator::new(power.clone());
+                let days = gen.generate();
+                let classes =
+                    days.iter().map(|(_, k)| k.map(|kind| kind.class_index())).collect();
+                (days.into_iter().map(|(w, _)| w).collect(), classes)
+            }
+            DatasetConfig::Multivariate(mh) => {
+                let gen = MhealthGenerator::new(mh.clone());
+                let pairs = gen.generate();
+                let classes = pairs
+                    .iter()
+                    .map(|(_, a)| if a.is_normal() { None } else { Some(a.index()) })
+                    .collect();
+                (pairs.into_iter().map(|(w, _)| w).collect(), classes)
+            }
+        };
+
+        // Standardise with statistics from normal windows only (the paper
+        // standardises all training tasks; detectors must not see anomaly
+        // statistics).
+        let normal_rows: Vec<Matrix> = windows
+            .iter()
+            .filter(|w| !w.anomalous)
+            .map(|w| w.data.clone())
+            .collect();
+        let stacked = stack_rows(&normal_rows);
+        let standardizer = Standardizer::fit(&stacked);
+        let windows: Vec<LabeledWindow> = windows
+            .into_iter()
+            .map(|w| LabeledWindow::new(standardizer.transform(&w.data), w.anomalous))
+            .collect();
+
+        let split = paper_split(&windows, &|i| class_of[i], config.seed);
+
+        let catalog = match &config.dataset {
+            DatasetConfig::Univariate(power) => {
+                ModelCatalog::univariate(power.samples_per_day, config.seed)
+            }
+            DatasetConfig::Multivariate(_) => {
+                ModelCatalog::multivariate(18, config.seq2seq_hidden, config.seed)
+            }
+        };
+
+        Self { config, topology, split, catalog, thresholds: [0.0; 3] }
+    }
+
+    /// The calibrated testbed topology.
+    pub fn topology(&self) -> &HecTopology {
+        &self.topology
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Stage 3: train all three detectors on the AD training split and
+    /// calibrate their scorers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detector fails to fit (invalid split).
+    pub fn train_detectors(&mut self) {
+        let train = &self.split.ad_train;
+        for (layer, det) in self.catalog.detectors_mut().iter_mut().enumerate() {
+            let report = det
+                .fit(train, self.config.ad_epochs)
+                .unwrap_or_else(|e| panic!("failed to fit {}: {e}", det.name()));
+            self.thresholds[layer] = report.threshold;
+        }
+    }
+
+    /// Stage 4: Table I — evaluate each detector on the AD test split.
+    pub fn table1(&mut self) -> Vec<Table1Row> {
+        let test = &self.split.ad_test;
+        let mut rows = Vec::with_capacity(3);
+        for (layer, det) in self.catalog.detectors_mut().iter_mut().enumerate() {
+            let mut confusion = BinaryConfusion::new();
+            for w in test {
+                let d = det.detect(w);
+                confusion.record(d.anomalous, w.anomalous);
+            }
+            rows.push(Table1Row {
+                model: det.name().to_owned(),
+                layer: hec_anomaly::HecLayer::from_index(layer),
+                params: det.param_count(),
+                accuracy_pct: confusion.accuracy() * 100.0,
+                f1: confusion.f1(),
+                exec_ms: self.topology.exec_ms(layer),
+            });
+        }
+        rows
+    }
+
+    /// Stage 5: precompute the frozen oracle over a corpus.
+    pub fn oracle_over(&mut self, windows: &[LabeledWindow]) -> Oracle {
+        Oracle::precompute_with_thresholds(&mut self.catalog, windows, self.thresholds)
+    }
+
+    /// Stage 6: train the policy network on the policy-training corpus.
+    /// Returns the trained policy, its context scaler and the learning curve.
+    pub fn train_policy(
+        &mut self,
+        policy_oracle: &Oracle,
+    ) -> (PolicyNetwork, ContextScaler, TrainingCurve) {
+        let contexts = policy_oracle.contexts();
+        let scaler = ContextScaler::fit(&contexts);
+        let scaled = scaler.transform_all(&contexts);
+        let reward = RewardModel::new(self.config.dataset.kind().paper_alpha());
+        let payload = self.config.payload_bytes();
+        let topo = &self.topology;
+
+        let input_dim = scaled[0].len();
+        let policy = PolicyNetwork::new(
+            input_dim,
+            self.config.policy_hidden,
+            topo.num_layers(),
+            self.config.seed,
+        );
+        let mut trainer = PolicyTrainer::new(policy, self.config.policy);
+        let mut reward_of = |i: usize, a: usize| -> f32 {
+            reward.reward(policy_oracle.correct(i, a), topo.end_to_end_ms(a, payload)) as f32
+        };
+        let curve = trainer.train(&scaled, &mut reward_of);
+        (trainer.into_policy(), scaler, curve)
+    }
+
+    /// Stage 7: Table II — evaluate all five schemes on an oracle corpus.
+    pub fn table2(
+        &self,
+        eval_oracle: &Oracle,
+        policy: &mut PolicyNetwork,
+        scaler: &ContextScaler,
+    ) -> (Vec<Table2Row>, [usize; 3]) {
+        let reward = RewardModel::new(self.config.dataset.kind().paper_alpha());
+        let ev = SchemeEvaluator::new(&self.topology, self.config.payload_bytes(), reward);
+        let mut rows = Vec::with_capacity(5);
+        let mut adaptive_actions = [0usize; 3];
+        for kind in SchemeKind::ALL {
+            let result = match kind {
+                SchemeKind::Adaptive => {
+                    ev.evaluate(kind, eval_oracle, Some(policy), Some(scaler))
+                }
+                _ => ev.evaluate(kind, eval_oracle, None, None),
+            };
+            if kind == SchemeKind::Adaptive {
+                adaptive_actions = result.action_histogram;
+            }
+            rows.push(Table2Row {
+                scheme: kind,
+                f1: result.confusion.f1(),
+                accuracy_pct: result.confusion.accuracy() * 100.0,
+                delay_ms: result.mean_delay_ms,
+                reward: result.reward_x100,
+            });
+        }
+        (rows, adaptive_actions)
+    }
+
+    /// Runs the whole pipeline and assembles the report.
+    pub fn run(config: ExperimentConfig) -> ExperimentReport {
+        let kind = config.dataset.kind();
+        let mut exp = Self::prepare(config);
+        exp.train_detectors();
+        let table1 = exp.table1();
+
+        let policy_corpus = exp.split.policy_train.clone();
+        let policy_oracle = exp.oracle_over(&policy_corpus);
+        let (mut policy, scaler, training_curve) = exp.train_policy(&policy_oracle);
+
+        let eval_corpus = exp.split.full.clone();
+        let eval_oracle = exp.oracle_over(&eval_corpus);
+        let (table2, adaptive_actions) = exp.table2(&eval_oracle, &mut policy, &scaler);
+
+        ExperimentReport {
+            kind,
+            table1,
+            table2,
+            training_curve,
+            adaptive_actions,
+            eval_windows: eval_oracle.len(),
+        }
+    }
+}
+
+/// Vertically stacks matrices (same column count).
+fn stack_rows(mats: &[Matrix]) -> Matrix {
+    assert!(!mats.is_empty(), "nothing to stack");
+    let mut out = mats[0].clone();
+    for m in &mats[1..] {
+        out = out.vconcat(m);
+    }
+    out
+}
+
+/// Re-export of the MHEALTH activity enum for example binaries.
+pub type MhealthActivity = Activity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_univariate() -> ExperimentConfig {
+        ExperimentConfig {
+            dataset: DatasetConfig::Univariate(PowerConfig {
+                days: 120,
+                samples_per_day: 24,
+                anomaly_rate: 0.15,
+                noise_std: 0.03,
+                seed: 7,
+            }),
+            ad_epochs: 60,
+            policy: TrainConfig { epochs: 25, learning_rate: 2e-3, ..Default::default() },
+            seq2seq_hidden: 8,
+            policy_hidden: 32,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn univariate_pipeline_end_to_end() {
+        let report = Experiment::run(tiny_univariate());
+        assert_eq!(report.kind, DatasetKind::Univariate);
+        assert_eq!(report.table1.len(), 3);
+        assert_eq!(report.table2.len(), 5);
+
+        // Table I invariants: params ladder up, exec time ladders down.
+        assert!(report.table1[0].params < report.table1[2].params);
+        assert!(report.table1[0].exec_ms > report.table1[2].exec_ms);
+
+        // Table II invariants.
+        let by_scheme = |k: SchemeKind| {
+            report.table2.iter().find(|r| r.scheme == k).expect("scheme present")
+        };
+        let iot = by_scheme(SchemeKind::IoTDevice);
+        let cloud = by_scheme(SchemeKind::Cloud);
+        let adaptive = by_scheme(SchemeKind::Adaptive);
+        let successive = by_scheme(SchemeKind::Successive);
+
+        assert!(iot.delay_ms < cloud.delay_ms);
+        assert!(adaptive.delay_ms < cloud.delay_ms, "adaptive should undercut always-cloud");
+        assert!(successive.reward.is_none());
+        assert!(adaptive.reward.is_some());
+        // Sanity: every accuracy is a percentage.
+        for row in &report.table2 {
+            assert!((0.0..=100.0).contains(&row.accuracy_pct), "{row:?}");
+        }
+        // The policy must actually mix actions or pick a sensible single
+        // layer; at minimum the histogram sums to the corpus size.
+        assert_eq!(
+            report.adaptive_actions.iter().sum::<usize>(),
+            report.eval_windows
+        );
+    }
+
+    #[test]
+    fn stages_can_run_separately() {
+        let mut exp = Experiment::prepare(tiny_univariate());
+        assert_eq!(exp.topology().num_layers(), 3);
+        exp.train_detectors();
+        let t1 = exp.table1();
+        assert_eq!(t1.len(), 3);
+        let corpus = exp.split.policy_train.clone();
+        let oracle = exp.oracle_over(&corpus);
+        assert_eq!(oracle.len(), corpus.len());
+        let (_policy, scaler, curve) = exp.train_policy(&oracle);
+        assert_eq!(scaler.dim(), 4);
+        assert!(!curve.mean_reward_per_epoch.is_empty());
+    }
+
+    #[test]
+    fn payload_bytes_reflect_window_shape() {
+        assert_eq!(ExperimentConfig::univariate().payload_bytes(), 96 * 4);
+        assert_eq!(ExperimentConfig::multivariate().payload_bytes(), 128 * 18 * 4);
+    }
+}

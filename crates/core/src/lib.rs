@@ -1,0 +1,35 @@
+//! # hec-core
+//!
+//! The end-to-end reproduction pipeline of *"Contextual-Bandit Anomaly
+//! Detection for IoT Data in Distributed Hierarchical Edge Computing"*
+//! (ICDCS 2020): this crate glues the substrates together into the paper's
+//! actual experiments.
+//!
+//! * [`oracle`] — precomputed per-window detection outcomes for all three
+//!   layers (the AD models are frozen while the policy trains, §II-B);
+//! * [`scheme`] — the five model-selection schemes of §III-C: always-IoT,
+//!   always-Edge, always-Cloud, **Successive** escalation, and the proposed
+//!   **Adaptive** contextual-bandit scheme;
+//! * [`experiment`] — the full pipeline: generate data → split → train the
+//!   model catalog → calibrate scorers → train the policy network → evaluate
+//!   every scheme (Tables I and II);
+//! * [`report`] — table rows and ASCII formatting for the reproduction
+//!   harness;
+//! * [`stream`] — the demo result panel's streaming series (Fig. 3b);
+//! * [`ablation`] — α sweeps, baseline ablation, bandit-solver comparison
+//!   and confidence-rule sweeps (DESIGN.md §5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod experiment;
+pub mod oracle;
+pub mod report;
+pub mod scheme;
+pub mod stream;
+
+pub use experiment::{DatasetConfig, Experiment, ExperimentConfig, ExperimentReport};
+pub use oracle::{Oracle, WindowOutcome};
+pub use report::{format_table1, format_table2, Table1Row, Table2Row};
+pub use scheme::{SchemeEvaluator, SchemeKind, SchemeOutcome, SchemeResult};

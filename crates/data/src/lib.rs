@@ -1,0 +1,42 @@
+//! # hec-data
+//!
+//! Synthetic IoT datasets, windowing, standardisation, splits and metrics for
+//! the HEC-AD reproduction.
+//!
+//! The paper evaluates on two public datasets that we substitute with
+//! faithful synthetic generators (see DESIGN.md §2 for the substitution
+//! rationale):
+//!
+//! * [`power`] — a univariate **power-demand** generator modelled on the
+//!   Dutch power-demand dataset (UCR discords): one year of 15-minute
+//!   readings with a strong weekly rhythm; anomalies are weekdays whose
+//!   demand profile collapses to a weekend/holiday shape.
+//! * [`mhealth`] — a multivariate **MHEALTH-like** generator: 18 IMU channels
+//!   (2 sensors × accelerometer/gyroscope/magnetometer × 3 axes) at 50 Hz for
+//!   12 activities and 10 subjects; the dominant activity (walking) is
+//!   normal, everything else anomalous; windows of 128 steps, stride 64.
+//!
+//! Supporting modules:
+//!
+//! * [`window`] — labelled windows and sliding-window extraction,
+//! * [`standardize`] — zero-mean/unit-variance per-channel scaling ("the data
+//!   is standardized to zero mean and unit variance", §III-A),
+//! * [`split`] — the paper's train/test/policy-train protocol,
+//! * [`metrics`] — confusion-matrix accuracy/precision/recall/F1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod mhealth;
+pub mod power;
+pub mod split;
+pub mod standardize;
+pub mod window;
+
+pub use metrics::BinaryConfusion;
+pub use mhealth::{Activity, MhealthConfig, MhealthGenerator};
+pub use power::{PowerConfig, PowerGenerator};
+pub use split::{paper_split, PaperSplit};
+pub use standardize::Standardizer;
+pub use window::LabeledWindow;

@@ -1,0 +1,182 @@
+//! The paper's train/test split protocol.
+//!
+//! §III-A: *"we select 70% of normal samples of all the subjects as the
+//! training set; and the rest 30% of normal samples plus 5% of each of the
+//! other activities as the test set. To train the policy network, we select
+//! 30% of normal samples and 5% of each of the other activities as the
+//! training set, and the whole dataset as the test set."*
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::window::LabeledWindow;
+
+/// The result of [`paper_split`]: the paper's four evaluation corpora.
+#[derive(Debug, Clone)]
+pub struct PaperSplit {
+    /// 70 % of normal windows — AD model training set.
+    pub ad_train: Vec<LabeledWindow>,
+    /// Remaining 30 % of normal windows + 5 % of each anomaly class — AD
+    /// model test set.
+    pub ad_test: Vec<LabeledWindow>,
+    /// 30 % of normal windows + 5 % of each anomaly class — policy-network
+    /// training set (bandit exploration corpus).
+    pub policy_train: Vec<LabeledWindow>,
+    /// The whole dataset — policy-network test set.
+    pub full: Vec<LabeledWindow>,
+}
+
+impl PaperSplit {
+    /// Sanity counters: `(train_normals, test_total, policy_total, full_total)`.
+    pub fn sizes(&self) -> (usize, usize, usize, usize) {
+        (self.ad_train.len(), self.ad_test.len(), self.policy_train.len(), self.full.len())
+    }
+}
+
+/// Splits a corpus per the paper's protocol.
+///
+/// * `windows` — the full corpus;
+/// * `class_of` — maps each window to an anomaly-class id (`None` = normal);
+///   the "5 % of each class" sampling is stratified over these ids;
+/// * `seed` — shuffling seed.
+///
+/// # Panics
+///
+/// Panics if there are fewer than 10 normal windows (the split would be
+/// degenerate).
+pub fn paper_split(
+    windows: &[LabeledWindow],
+    class_of: &dyn Fn(usize) -> Option<usize>,
+    seed: u64,
+) -> PaperSplit {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut normal_idx: Vec<usize> = Vec::new();
+    let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, w) in windows.iter().enumerate() {
+        match class_of(i) {
+            None => {
+                assert!(!w.anomalous, "window {i} has no class but is labelled anomalous");
+                normal_idx.push(i);
+            }
+            Some(c) => by_class.entry(c).or_default().push(i),
+        }
+    }
+    assert!(normal_idx.len() >= 10, "need at least 10 normal windows, got {}", normal_idx.len());
+
+    normal_idx.shuffle(&mut rng);
+    let split_at = (normal_idx.len() as f64 * 0.7).round() as usize;
+    let (train_normals, rest_normals) = normal_idx.split_at(split_at);
+
+    // 5% of each anomaly class, at least one window per class.
+    let mut anomaly_sample: Vec<usize> = Vec::new();
+    for idxs in by_class.values() {
+        let mut idxs = idxs.clone();
+        idxs.shuffle(&mut rng);
+        let take = ((idxs.len() as f64 * 0.05).round() as usize).max(1).min(idxs.len());
+        anomaly_sample.extend_from_slice(&idxs[..take]);
+    }
+
+    let collect = |idxs: &[usize]| -> Vec<LabeledWindow> {
+        idxs.iter().map(|&i| windows[i].clone()).collect()
+    };
+
+    let mut ad_test_idx: Vec<usize> = rest_normals.to_vec();
+    ad_test_idx.extend_from_slice(&anomaly_sample);
+    ad_test_idx.shuffle(&mut rng);
+
+    // Policy training reuses the same recipe (fresh shuffle for ordering).
+    let mut policy_idx = ad_test_idx.clone();
+    policy_idx.shuffle(&mut rng);
+
+    PaperSplit {
+        ad_train: collect(train_normals),
+        ad_test: collect(&ad_test_idx),
+        policy_train: collect(&policy_idx),
+        full: windows.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hec_tensor::Matrix;
+
+    fn corpus(normals: usize, classes: &[usize]) -> (Vec<LabeledWindow>, Vec<Option<usize>>) {
+        let mut windows = Vec::new();
+        let mut class_ids = Vec::new();
+        for i in 0..normals {
+            windows.push(LabeledWindow::new(Matrix::filled(4, 1, i as f32), false));
+            class_ids.push(None);
+        }
+        for (c, &count) in classes.iter().enumerate() {
+            for i in 0..count {
+                windows
+                    .push(LabeledWindow::new(Matrix::filled(4, 1, -((c * 100 + i) as f32)), true));
+                class_ids.push(Some(c));
+            }
+        }
+        (windows, class_ids)
+    }
+
+    #[test]
+    fn split_fractions() {
+        let (windows, ids) = corpus(100, &[40, 40]);
+        let split = paper_split(&windows, &|i| ids[i], 1);
+        assert_eq!(split.ad_train.len(), 70);
+        assert!(split.ad_train.iter().all(|w| !w.anomalous));
+        // 30 normals + 2 per class (5% of 40 = 2).
+        assert_eq!(split.ad_test.len(), 30 + 4);
+        assert_eq!(split.policy_train.len(), split.ad_test.len());
+        assert_eq!(split.full.len(), windows.len());
+    }
+
+    #[test]
+    fn every_class_represented_in_test() {
+        let (windows, ids) = corpus(50, &[10, 10, 10]);
+        let split = paper_split(&windows, &|i| ids[i], 2);
+        let anomalies = split.ad_test.iter().filter(|w| w.anomalous).count();
+        assert!(anomalies >= 3, "each of 3 classes must contribute at least one window");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (windows, ids) = corpus(40, &[20]);
+        let a = paper_split(&windows, &|i| ids[i], 9);
+        let b = paper_split(&windows, &|i| ids[i], 9);
+        assert_eq!(a.ad_train.len(), b.ad_train.len());
+        for (x, y) in a.ad_train.iter().zip(b.ad_train.iter()) {
+            assert_eq!(x.data, y.data);
+        }
+    }
+
+    #[test]
+    fn different_seed_shuffles_differently() {
+        let (windows, ids) = corpus(40, &[20]);
+        let a = paper_split(&windows, &|i| ids[i], 1);
+        let b = paper_split(&windows, &|i| ids[i], 2);
+        let same = a
+            .ad_train
+            .iter()
+            .zip(b.ad_train.iter())
+            .filter(|(x, y)| x.data == y.data)
+            .count();
+        assert!(same < a.ad_train.len(), "shuffles identical across seeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 normal windows")]
+    fn too_few_normals_panics() {
+        let (windows, ids) = corpus(5, &[5]);
+        let _ = paper_split(&windows, &|i| ids[i], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labelled anomalous")]
+    fn inconsistent_labelling_panics() {
+        let windows = vec![LabeledWindow::new(Matrix::zeros(2, 1), true); 12];
+        let _ = paper_split(&windows, &|_| None, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-channel zero-mean/unit-variance standardisation.
+
+use serde::{Deserialize, Serialize};
+
+use hec_tensor::Matrix;
+
+/// Fitted per-channel standardiser: `x ↦ (x − µ_c) / σ_c`.
+///
+/// The paper standardises every training task and dataset to zero mean and
+/// unit variance (§III-A). Fit on the **training** portion only, then apply
+/// to everything, as usual.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_data::Standardizer;
+/// use hec_tensor::Matrix;
+///
+/// let train = Matrix::from_rows(&[&[0.0, 10.0], &[2.0, 14.0], &[4.0, 18.0]]);
+/// let s = Standardizer::fit(&train);
+/// let z = s.transform(&train);
+/// assert!(z.col(0).iter().sum::<f32>().abs() < 1e-5); // zero mean
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits per-column mean and (population) standard deviation.
+    ///
+    /// Columns with zero variance get `σ = 1` so transforming them maps to 0
+    /// rather than dividing by zero.
+    pub fn fit(data: &Matrix) -> Self {
+        let d = data.cols();
+        let n = data.rows() as f32;
+        let mut mean = vec![0.0f32; d];
+        for row in data.iter_rows() {
+            for (m, &x) in mean.iter_mut().zip(row.iter()) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; d];
+        for row in data.iter_rows() {
+            for ((v, &m), &x) in var.iter_mut().zip(mean.iter()).zip(row.iter()) {
+                let diff = x - m;
+                *v += diff * diff;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Number of channels this standardiser was fitted on.
+    pub fn channels(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Fitted per-channel means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Fitted per-channel standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Standardises a `time × channels` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted channel count.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.channels(), "channel count mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((x, &m), &s) in row.iter_mut().zip(self.mean.iter()).zip(self.std.iter()) {
+                *x = (*x - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Inverse transform: `z ↦ z·σ_c + µ_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted channel count.
+    pub fn inverse_transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.channels(), "channel count mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((x, &m), &s) in row.iter_mut().zip(self.mean.iter()).zip(self.std.iter()) {
+                *x = *x * s + m;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_gives_zero_mean_unit_variance() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 100.0],
+            &[2.0, 200.0],
+            &[3.0, 300.0],
+            &[4.0, 400.0],
+        ]);
+        let s = Standardizer::fit(&data);
+        let z = s.transform(&data);
+        for c in 0..2 {
+            let col = z.col(c);
+            let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
+            let var: f32 =
+                col.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / col.len() as f32;
+            assert!(mean.abs() < 1e-5, "col {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "col {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_inverse() {
+        let data = Matrix::from_rows(&[&[1.5, -3.0], &[0.5, 9.0], &[2.5, 3.0]]);
+        let s = Standardizer::fit(&data);
+        let back = s.inverse_transform(&s.transform(&data));
+        for (a, b) in back.as_slice().iter().zip(data.as_slice().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let data = Matrix::from_rows(&[&[5.0], &[5.0], &[5.0]]);
+        let s = Standardizer::fit(&data);
+        let z = s.transform(&data);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn mismatched_channels_panic() {
+        let s = Standardizer::fit(&Matrix::zeros(3, 2));
+        let _ = s.transform(&Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn applies_train_statistics_to_test() {
+        let train = Matrix::from_rows(&[&[0.0], &[2.0]]); // mean 1, std 1
+        let s = Standardizer::fit(&train);
+        let test = Matrix::from_rows(&[&[3.0]]);
+        let z = s.transform(&test);
+        assert!((z[(0, 0)] - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,270 @@
+//! Fully-connected layer with optional activation.
+
+use rand::Rng;
+
+use hec_tensor::{init, Matrix};
+
+use crate::activation::Activation;
+use crate::sequential::Layer;
+
+/// A fully-connected layer `y = f(x·W + b)`.
+///
+/// Weights are `in_dim × out_dim`, initialised Glorot-uniform (the Keras
+/// default used by the paper's models); biases start at zero.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_nn::{Activation, Dense, Layer};
+/// use hec_tensor::Matrix;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new(&mut rng, 3, 2, Activation::Relu);
+/// let x = Matrix::ones(4, 3); // batch of 4
+/// let y = layer.forward(&x, false);
+/// assert_eq!(y.shape(), (4, 2));
+/// ```
+pub struct Dense {
+    weight: Matrix,
+    bias: Matrix,
+    activation: Activation,
+    grad_weight: Matrix,
+    grad_bias: Matrix,
+    cached_input: Option<Matrix>,
+    cached_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform weights and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
+        Self::with_init(init::glorot_uniform(rng, in_dim, out_dim), out_dim, activation)
+    }
+
+    /// Creates a dense layer with He-uniform weights (preferred before ReLU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new_he(
+        rng: &mut impl Rng,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+    ) -> Self {
+        Self::with_init(init::he_uniform(rng, in_dim, out_dim), out_dim, activation)
+    }
+
+    fn with_init(weight: Matrix, out_dim: usize, activation: Activation) -> Self {
+        let (in_dim, _) = weight.shape();
+        Self {
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+            weight,
+            bias: Matrix::zeros(1, out_dim),
+            activation,
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Borrow of the kernel matrix (for tests/serialisation).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Borrow of the bias row vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Computes the pre-activation `x·W + b` without caching (inference helper).
+    pub fn affine(&self, input: &Matrix) -> Matrix {
+        input.matmul(&self.weight).add_row_broadcast(&self.bias)
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        let z = self.affine(input);
+        let y = self.activation.apply(&z);
+        if training {
+            self.cached_input = Some(input.clone());
+            self.cached_output = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Dense::backward called without training-mode forward");
+        let output = self.cached_output.take().expect("missing cached output");
+        // δ = ∂L/∂z = ∂L/∂y ⊙ f'(z), with f' expressed from the output.
+        let delta = grad_output.hadamard(&self.activation.derivative_from_output(&output));
+        // Accumulate parameter gradients.
+        self.grad_weight += &input.t_matmul(&delta);
+        self.grad_bias += &delta.sum_rows();
+        // ∂L/∂x = δ · Wᵀ
+        delta.matmul_t(&self.weight)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn kernel_norm_sq(&self) -> f32 {
+        self.weight.frobenius_norm_sq()
+    }
+
+    fn apply_l2(&mut self, lambda: f32) {
+        self.grad_weight.add_scaled(&self.weight, 2.0 * lambda);
+    }
+}
+
+impl std::fmt::Debug for Dense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Dense({}→{}, {:?})", self.in_dim(), self.out_dim(), self.activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check on a single dense layer.
+    #[test]
+    fn gradient_check_weights_and_bias() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = Dense::new(&mut rng, 3, 2, Activation::Tanh);
+        let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[-0.1, 0.9, 0.2]]);
+        // Loss = sum of outputs (so dL/dy = 1).
+        let ones = Matrix::ones(2, 2);
+
+        let _ = layer.forward(&x, true);
+        let _ = layer.backward(&ones);
+
+        // Collect analytic grads.
+        let mut analytic: Vec<f32> = Vec::new();
+        layer.visit_params(&mut |_, g| analytic.extend_from_slice(g.as_slice()));
+
+        // Numeric grads via central differences.
+        let eps = 1e-3f32;
+        let mut numeric: Vec<f32> = Vec::new();
+        // Weight then bias, matching visit order.
+        for param_idx in 0..2 {
+            let n = if param_idx == 0 { layer.weight.len() } else { layer.bias.len() };
+            for i in 0..n {
+                let get = |l: &mut Dense, delta: f32| {
+                    let slice = if param_idx == 0 {
+                        l.weight.as_mut_slice()
+                    } else {
+                        l.bias.as_mut_slice()
+                    };
+                    slice[i] += delta;
+                };
+                get(&mut layer, eps);
+                let y_plus = layer.forward(&x, false).sum();
+                get(&mut layer, -2.0 * eps);
+                let y_minus = layer.forward(&x, false).sum();
+                get(&mut layer, eps);
+                numeric.push((y_plus - y_minus) / (2.0 * eps));
+            }
+        }
+
+        assert_eq!(analytic.len(), numeric.len());
+        for (i, (a, n)) in analytic.iter().zip(numeric.iter()).enumerate() {
+            assert!(
+                (a - n).abs() < 5e-2 * (1.0 + n.abs()),
+                "param {i}: analytic {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut layer = Dense::new(&mut rng, 3, 2, Activation::Sigmoid);
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.1]]);
+        let ones = Matrix::ones(1, 2);
+        let _ = layer.forward(&x, true);
+        let dx = layer.backward(&ones);
+
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let numeric = (layer.forward(&xp, false).sum() - layer.forward(&xm, false).sum())
+                / (2.0 * eps);
+            let analytic = dx.as_slice()[i];
+            assert!(
+                (analytic - numeric).abs() < 5e-3 * (1.0 + numeric.abs()),
+                "input {i}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::new(&mut rng, 10, 7, Activation::Linear);
+        assert_eq!(layer.param_count(), 10 * 7 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "without training-mode forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Dense::new(&mut rng, 2, 2, Activation::Linear);
+        let _ = layer.backward(&Matrix::ones(1, 2));
+    }
+
+    #[test]
+    fn inference_forward_does_not_cache() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Dense::new(&mut rng, 2, 2, Activation::Linear);
+        let _ = layer.forward(&Matrix::ones(1, 2), false);
+        assert!(layer.cached_input.is_none());
+    }
+
+    #[test]
+    fn l2_gradient_is_two_lambda_w() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(&mut rng, 2, 2, Activation::Linear);
+        let w0 = layer.weight.clone();
+        layer.apply_l2(0.5);
+        for (g, w) in layer.grad_weight.as_slice().iter().zip(w0.as_slice().iter()) {
+            assert!((g - w).abs() < 1e-6); // 2·0.5·w = w
+        }
+    }
+}

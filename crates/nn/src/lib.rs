@@ -1,0 +1,61 @@
+//! # hec-nn
+//!
+//! A from-scratch neural-network framework sufficient to reproduce every model
+//! in *"Contextual-Bandit Anomaly Detection for IoT Data in Distributed
+//! Hierarchical Edge Computing"* (ICDCS 2020):
+//!
+//! * stacked [`Dense`] autoencoders (AE-IoT / AE-Edge / AE-Cloud, §II-A1),
+//! * [`Lstm`] encoder–decoder sequence-to-sequence models, including the
+//!   bidirectional encoder of BiLSTM-seq2seq-Cloud (§II-A2) — see
+//!   [`seq2seq::Seq2Seq`],
+//! * the single-hidden-layer softmax policy network (§II-B) — built from
+//!   [`Dense`] layers by the `hec-bandit` crate,
+//! * the paper's training recipe: MSE reconstruction loss, RMSProp,
+//!   `l2`-norm kernel regularisation, dropout 0.3 on decoder outputs.
+//!
+//! Backpropagation (including BPTT through the LSTMs) is implemented manually
+//! and validated against finite differences in the test suite.
+//!
+//! # Example
+//!
+//! ```rust
+//! use hec_nn::{Activation, Dense, Mse, RmsProp, Sequential};
+//! use hec_tensor::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // A tiny 2-2-1 regression network.
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Dense::new(&mut rng, 2, 2, Activation::Tanh)),
+//!     Box::new(Dense::new(&mut rng, 2, 1, Activation::Linear)),
+//! ]);
+//! let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let y = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+//! let mut opt = RmsProp::new(0.01);
+//! let before = net.train_batch(&x, &y, &Mse, &mut opt, 0.0);
+//! for _ in 0..200 { net.train_batch(&x, &y, &Mse, &mut opt, 0.0); }
+//! let after = net.train_batch(&x, &y, &Mse, &mut opt, 0.0);
+//! assert!(after < before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod dense;
+pub mod dropout;
+pub mod loss;
+pub mod lstm;
+pub mod optim;
+pub mod seq2seq;
+pub mod sequential;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use loss::{Loss, Mse};
+pub use lstm::{Lstm, LstmState};
+pub use optim::{Adam, Optimizer, RmsProp, Sgd};
+pub use seq2seq::{Seq2Seq, Seq2SeqConfig};
+pub use sequential::{Layer, Sequential};

@@ -1,0 +1,75 @@
+//! Loss functions.
+
+use hec_tensor::Matrix;
+
+/// A differentiable loss over a batch of predictions.
+pub trait Loss {
+    /// Scalar loss value.
+    fn value(&self, prediction: &Matrix, target: &Matrix) -> f32;
+
+    /// Gradient `∂L/∂prediction`, same shape as `prediction`.
+    fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Matrix;
+}
+
+/// Mean squared error over all elements — the paper's reconstruction loss
+/// ("minimize the mean squared reconstruction error", §II-A2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn value(&self, prediction: &Matrix, target: &Matrix) -> f32 {
+        let diff = prediction - target;
+        diff.frobenius_norm_sq() / prediction.len() as f32
+    }
+
+    fn gradient(&self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        let scale = 2.0 / prediction.len() as f32;
+        (prediction - target).scale(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_on_match() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(Mse.value(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let t = Matrix::zeros(2, 2);
+        // (1+4+9+16)/4 = 7.5
+        assert!((Mse.value(&p, &t) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let p = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0]]);
+        let g = Mse.gradient(&p, &t);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let numeric = (Mse.value(&pp, &t) - Mse.value(&pm, &t)) / (2.0 * eps);
+            assert!(
+                (g.as_slice()[i] - numeric).abs() < 1e-3,
+                "elem {i}: {} vs {numeric}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_is_zero_at_minimum() {
+        let a = Matrix::from_rows(&[&[3.0, -2.0]]);
+        let g = Mse.gradient(&a, &a);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,453 @@
+//! LSTM encoder–decoder (sequence-to-sequence) reconstruction models.
+//!
+//! Reproduces the paper's multivariate AD architecture (§II-A2):
+//!
+//! * an LSTM (or bidirectional LSTM) **encoder** compresses the input window
+//!   into encoded states;
+//! * an LSTM **decoder** reconstructs the window one step at a time, fed with
+//!   its own previous output (a zero vector — the "special token" — at the
+//!   first step);
+//! * the decoder output is **dropped out (rate 0.3)** and passed through a
+//!   fully-connected layer with **linear activation** to produce the
+//!   reconstruction;
+//! * trained with **RMSProp** and an **`l2`-norm kernel regularizer of 1e-4**
+//!   to minimise mean squared reconstruction error.
+//!
+//! Gradient through the autoregressive feedback connection (output at `t`
+//! feeding input at `t+1`) is truncated (stop-gradient), matching the common
+//! TensorFlow `feed_previous` implementation the paper's stack builds on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hec_tensor::Matrix;
+
+use crate::dense::Dense;
+use crate::dropout::Dropout;
+use crate::loss::{Loss, Mse};
+use crate::lstm::{BiLstm, Lstm, LstmState};
+use crate::optim::Optimizer;
+use crate::sequential::Layer;
+use crate::Activation;
+
+/// Configuration for a [`Seq2Seq`] model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seq2SeqConfig {
+    /// Number of input channels per timestep (18 for the paper's MHEALTH data).
+    pub input_dim: usize,
+    /// LSTM units in the encoder (per direction when bidirectional).
+    pub encoder_hidden: usize,
+    /// Whether the encoder is bidirectional (BiLSTM-seq2seq-Cloud).
+    pub bidirectional: bool,
+    /// Dropout rate applied to decoder outputs (paper: 0.3).
+    pub dropout: f32,
+    /// `l2` kernel regularisation weight (paper: 1e-4).
+    pub l2_lambda: f32,
+    /// RNG seed for weight initialisation and dropout masks.
+    pub seed: u64,
+}
+
+impl Default for Seq2SeqConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 18,
+            encoder_hidden: 48,
+            bidirectional: false,
+            dropout: 0.3,
+            l2_lambda: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+enum Encoder {
+    Uni(Lstm),
+    Bi(BiLstm),
+}
+
+/// An LSTM encoder–decoder that learns to reconstruct its input sequence.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_nn::{RmsProp, Seq2Seq, Seq2SeqConfig};
+/// use hec_tensor::Matrix;
+///
+/// let config = Seq2SeqConfig { input_dim: 2, encoder_hidden: 8, ..Default::default() };
+/// let mut model = Seq2Seq::new(config);
+/// // One batch (size 1) of a 4-step, 2-channel window.
+/// let window: Vec<Matrix> = (0..4)
+///     .map(|t| Matrix::row_vector(&[(t as f32 * 0.5).sin(), (t as f32 * 0.5).cos()]))
+///     .collect();
+/// let mut opt = RmsProp::new(1e-3);
+/// let first = model.train_batch(&window, &mut opt);
+/// for _ in 0..30 { model.train_batch(&window, &mut opt); }
+/// let last = model.train_batch(&window, &mut opt);
+/// assert!(last < first);
+/// ```
+pub struct Seq2Seq {
+    encoder: Encoder,
+    decoder: Lstm,
+    dropout: Dropout,
+    output: Dense,
+    config: Seq2SeqConfig,
+}
+
+impl Seq2Seq {
+    /// Builds the model from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` or `encoder_hidden` is zero, or `dropout ∉ [0,1)`.
+    pub fn new(config: Seq2SeqConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be non-zero");
+        assert!(config.encoder_hidden > 0, "encoder_hidden must be non-zero");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let dec_hidden =
+            if config.bidirectional { 2 * config.encoder_hidden } else { config.encoder_hidden };
+        let encoder = if config.bidirectional {
+            Encoder::Bi(BiLstm::new(&mut rng, config.input_dim, config.encoder_hidden))
+        } else {
+            Encoder::Uni(Lstm::new(&mut rng, config.input_dim, config.encoder_hidden))
+        };
+        let decoder = Lstm::new(&mut rng, config.input_dim, dec_hidden);
+        let output = Dense::new(&mut rng, dec_hidden, config.input_dim, Activation::Linear);
+        let dropout = Dropout::new(config.dropout, config.seed.wrapping_add(0x9E37));
+        Self { encoder, decoder, dropout, output, config }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &Seq2SeqConfig {
+        &self.config
+    }
+
+    /// Total trainable parameters (Table I's "#Parameters").
+    pub fn param_count(&self) -> usize {
+        let enc = match &self.encoder {
+            Encoder::Uni(l) => l.param_count(),
+            Encoder::Bi(b) => b.param_count(),
+        };
+        enc + self.decoder.param_count() + self.output.param_count()
+    }
+
+    /// Encodes a window into the final encoder state — this is the contextual
+    /// feature the paper feeds to the policy network for multivariate data
+    /// (§III-B: "we use the encoded states of the LSTM-encoder").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or channel counts disagree with the config.
+    pub fn encode(&mut self, xs: &[Matrix]) -> LstmState {
+        self.encode_mode(xs, false)
+    }
+
+    fn encode_mode(&mut self, xs: &[Matrix], training: bool) -> LstmState {
+        assert!(!xs.is_empty(), "empty sequence");
+        match &mut self.encoder {
+            Encoder::Uni(l) => {
+                let states = l.forward_seq(xs, training);
+                states.last().expect("non-empty").clone()
+            }
+            Encoder::Bi(b) => b.encode(xs, training),
+        }
+    }
+
+    /// Reconstructs the window (inference mode: dropout disabled).
+    ///
+    /// Returns one matrix per timestep, same shapes as the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or channel counts disagree with the config.
+    pub fn reconstruct(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        let (ys, _) = self.decode_sequence(xs, false);
+        ys
+    }
+
+    /// Forward pass; returns per-step outputs and the stacked decoder hidden
+    /// states (training mode keeps caches for [`Seq2Seq::train_batch`]).
+    fn decode_sequence(&mut self, xs: &[Matrix], training: bool) -> (Vec<Matrix>, Matrix) {
+        let enc_state = self.encode_mode(xs, training);
+        let batch = xs[0].rows();
+        let t_len = xs.len();
+
+        if training {
+            self.decoder.clear_cache();
+        }
+        let mut state = enc_state;
+        // First decoder input is the zero vector ("special token", §II-A2).
+        let mut y_prev = Matrix::zeros(batch, self.config.input_dim);
+        let mut hs: Vec<Matrix> = Vec::with_capacity(t_len);
+        for _ in 0..t_len {
+            state = self.decoder.step(&y_prev, &state, training);
+            hs.push(state.h.clone());
+            // Feedback uses the clean (no-dropout) linear output; gradient
+            // through this path is truncated.
+            y_prev = self.output.affine(&state.h);
+        }
+        let mut stacked = hs[0].clone();
+        for h in &hs[1..] {
+            stacked = stacked.vconcat(h);
+        }
+        let dropped = self.dropout.forward(&stacked, training);
+        let ys_stacked = self.output.forward(&dropped, training);
+        let ys: Vec<Matrix> =
+            (0..t_len).map(|t| ys_stacked.slice_rows(t * batch, (t + 1) * batch)).collect();
+        (ys, stacked)
+    }
+
+    /// One training step on a single window (or batch of aligned windows):
+    /// forward, MSE against the input itself, BPTT, L2, optimizer update.
+    /// Returns the reconstruction MSE before the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or channel counts disagree with the config.
+    pub fn train_batch(&mut self, xs: &[Matrix], optimizer: &mut dyn Optimizer) -> f32 {
+        let batch = xs[0].rows();
+        let t_len = xs.len();
+        let (ys, _stacked_h) = self.decode_sequence(xs, true);
+
+        // Stack targets the same way the outputs were stacked.
+        let mut target = xs[0].clone();
+        for x in &xs[1..] {
+            target = target.vconcat(x);
+        }
+        let mut prediction = ys[0].clone();
+        for y in &ys[1..] {
+            prediction = prediction.vconcat(y);
+        }
+
+        let loss = Mse.value(&prediction, &target);
+        let d_ys = Mse.gradient(&prediction, &target);
+
+        // Back through dense and dropout (both cached on the stacked matrix).
+        let d_dropped = self.output.backward(&d_ys);
+        let d_stacked_h = self.dropout.backward(&d_dropped);
+
+        // Split per-step hidden gradients and BPTT through the decoder.
+        let dhs: Vec<Matrix> =
+            (0..t_len).map(|t| d_stacked_h.slice_rows(t * batch, (t + 1) * batch)).collect();
+        let (_dxs, d_state0) = self.decoder.backward_seq(&dhs, None);
+
+        // The decoder's initial state is the encoder's final state.
+        match &mut self.encoder {
+            Encoder::Uni(l) => {
+                let zeros: Vec<Matrix> =
+                    (0..t_len).map(|_| Matrix::zeros(batch, l.hidden())).collect();
+                let _ = l.backward_seq(&zeros, Some(&d_state0));
+            }
+            Encoder::Bi(b) => {
+                let _ = b.backward_from_state(&d_state0);
+            }
+        }
+
+        if self.config.l2_lambda > 0.0 {
+            let lambda = self.config.l2_lambda;
+            match &mut self.encoder {
+                Encoder::Uni(l) => l.apply_l2(lambda),
+                Encoder::Bi(b) => b.apply_l2(lambda),
+            }
+            self.decoder.apply_l2(lambda);
+            self.output.apply_l2(lambda);
+        }
+
+        self.apply_gradients(optimizer);
+        loss
+    }
+
+    /// Per-timestep reconstruction error vectors `x_t − x̂_t` (inference).
+    ///
+    /// These are the raw errors the Gaussian anomaly scorer is fitted on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty. Only supports batch size 1 (one window).
+    pub fn reconstruction_errors(&mut self, xs: &[Matrix]) -> Vec<Vec<f32>> {
+        assert!(!xs.is_empty(), "empty sequence");
+        assert_eq!(xs[0].rows(), 1, "reconstruction_errors expects a single window (batch 1)");
+        let ys = self.reconstruct(xs);
+        xs.iter()
+            .zip(ys.iter())
+            .map(|(x, y)| x.as_slice().iter().zip(y.as_slice().iter()).map(|(a, b)| a - b).collect())
+            .collect()
+    }
+
+    /// Visits every `(parameter, gradient)` pair (encoder, decoder, output
+    /// dense) in a stable order — used for post-training weight quantization.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        match &mut self.encoder {
+            Encoder::Uni(l) => l.visit_params(f),
+            Encoder::Bi(b) => b.visit_params(f),
+        }
+        self.decoder.visit_params(f);
+        self.output.visit_params(f);
+    }
+
+    /// Applies the optimizer to all accumulated gradients and zeroes them.
+    fn apply_gradients(&mut self, optimizer: &mut dyn Optimizer) {
+        let mut slot = 0usize;
+        let mut step = |param: &mut Matrix, grad: &mut Matrix| {
+            optimizer.step(slot, param, grad);
+            grad.map_inplace(|_| 0.0);
+            slot += 1;
+        };
+        match &mut self.encoder {
+            Encoder::Uni(l) => l.visit_params(&mut step),
+            Encoder::Bi(b) => b.visit_params(&mut step),
+        }
+        self.decoder.visit_params(&mut step);
+        self.output.visit_params(&mut step);
+    }
+}
+
+impl std::fmt::Debug for Seq2Seq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let enc = match &self.encoder {
+            Encoder::Uni(_) => "LSTM",
+            Encoder::Bi(_) => "BiLSTM",
+        };
+        write!(
+            f,
+            "Seq2Seq({enc} encoder h={}, params={})",
+            self.config.encoder_hidden,
+            self.param_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::RmsProp;
+
+    fn sine_window(t_len: usize, dim: usize, phase: f32) -> Vec<Matrix> {
+        (0..t_len)
+            .map(|t| {
+                let row: Vec<f32> = (0..dim)
+                    .map(|d| ((t as f32) * 0.4 + phase + d as f32).sin())
+                    .collect();
+                Matrix::row_vector(&row)
+            })
+            .collect()
+    }
+
+    fn small_config(bidirectional: bool) -> Seq2SeqConfig {
+        Seq2SeqConfig {
+            input_dim: 2,
+            encoder_hidden: 10,
+            bidirectional,
+            dropout: 0.0, // deterministic tests
+            l2_lambda: 1e-4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn output_shapes_match_input() {
+        let mut model = Seq2Seq::new(small_config(false));
+        let xs = sine_window(6, 2, 0.0);
+        let ys = model.reconstruct(&xs);
+        assert_eq!(ys.len(), 6);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert_eq!(x.shape(), y.shape());
+        }
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let mut model = Seq2Seq::new(small_config(false));
+        let xs = sine_window(8, 2, 0.3);
+        let mut opt = RmsProp::new(2e-3);
+        let first = model.train_batch(&xs, &mut opt);
+        let mut last = first;
+        for _ in 0..150 {
+            last = model.train_batch(&xs, &mut opt);
+        }
+        assert!(
+            last < first * 0.5,
+            "training failed to reduce loss: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn bidirectional_training_reduces_error() {
+        let mut model = Seq2Seq::new(small_config(true));
+        let xs = sine_window(8, 2, 0.0);
+        let mut opt = RmsProp::new(2e-3);
+        let first = model.train_batch(&xs, &mut opt);
+        let mut last = first;
+        for _ in 0..150 {
+            last = model.train_batch(&xs, &mut opt);
+        }
+        assert!(last < first * 0.5, "bi model failed to train: {first} -> {last}");
+    }
+
+    #[test]
+    fn bidirectional_has_more_params() {
+        let uni = Seq2Seq::new(small_config(false));
+        let bi = Seq2Seq::new(small_config(true));
+        assert!(bi.param_count() > uni.param_count());
+    }
+
+    #[test]
+    fn encode_gives_context_vector() {
+        let mut model = Seq2Seq::new(small_config(false));
+        let a = model.encode(&sine_window(6, 2, 0.0));
+        let b = model.encode(&sine_window(6, 2, 1.5));
+        assert_eq!(a.h.shape(), (1, 10));
+        // Different windows produce different contexts.
+        assert!((&a.h - &b.h).frobenius_norm() > 1e-6);
+    }
+
+    #[test]
+    fn trained_model_separates_normal_from_anomalous() {
+        // Train on one waveform family; a very different waveform should have
+        // larger reconstruction error.
+        let mut model = Seq2Seq::new(small_config(false));
+        let mut opt = RmsProp::new(2e-3);
+        for epoch in 0..120 {
+            let xs = sine_window(8, 2, (epoch % 4) as f32 * 0.1);
+            model.train_batch(&xs, &mut opt);
+        }
+        let normal = sine_window(8, 2, 0.05);
+        let weird: Vec<Matrix> =
+            (0..8).map(|t| Matrix::row_vector(&[if t % 2 == 0 { 2.0 } else { -2.0 }, 0.0])).collect();
+        let err_n: f32 = model
+            .reconstruction_errors(&normal)
+            .iter()
+            .flat_map(|e| e.iter().map(|v| v * v))
+            .sum();
+        let err_w: f32 = model
+            .reconstruction_errors(&weird)
+            .iter()
+            .flat_map(|e| e.iter().map(|v| v * v))
+            .sum();
+        assert!(
+            err_w > err_n,
+            "anomalous window not separated: normal {err_n}, weird {err_w}"
+        );
+    }
+
+    #[test]
+    fn param_count_formula_uni() {
+        let model = Seq2Seq::new(Seq2SeqConfig {
+            input_dim: 18,
+            encoder_hidden: 48,
+            bidirectional: false,
+            dropout: 0.3,
+            l2_lambda: 1e-4,
+            seed: 0,
+        });
+        let lstm = |input: usize, h: usize| 4 * h * (input + h + 1);
+        let expected = lstm(18, 48) + lstm(18, 48) + (48 * 18 + 18);
+        assert_eq!(model.param_count(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_window_panics() {
+        let mut model = Seq2Seq::new(small_config(false));
+        let _ = model.reconstruct(&[]);
+    }
+}

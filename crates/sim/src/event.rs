@@ -1,0 +1,203 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by virtual time (f64 milliseconds) with FIFO
+//! tie-breaking, which keeps simulations reproducible regardless of
+//! insertion pattern.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending event at a virtual time.
+struct Scheduled<T> {
+    time_ms: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ms == other.time_ms && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time_ms
+            .partial_cmp(&self.time_ms)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timestamped events with deterministic FIFO tie-breaks.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(10.0, "second");
+/// q.schedule(5.0, "first");
+/// assert_eq!(q.pop(), Some((5.0, "first")));
+/// assert_eq!(q.pop(), Some((10.0, "second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+    now_ms: f64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at virtual time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now_ms: 0.0 }
+    }
+
+    /// Schedules `payload` at absolute virtual time `time_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ms` is NaN or earlier than the current virtual time.
+    pub fn schedule(&mut self, time_ms: f64, payload: T) {
+        assert!(!time_ms.is_nan(), "event time must not be NaN");
+        assert!(
+            time_ms >= self.now_ms,
+            "cannot schedule in the past ({} < {})",
+            time_ms,
+            self.now_ms
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time_ms, seq, payload });
+    }
+
+    /// Schedules `payload` after a relative delay from the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_ms` is negative or NaN.
+    pub fn schedule_in(&mut self, delay_ms: f64, payload: T) {
+        assert!(delay_ms >= 0.0, "delay must be non-negative");
+        self.schedule(self.now_ms + delay_ms, payload);
+    }
+
+    /// Pops the earliest event and advances virtual time to it.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        let ev = self.heap.pop()?;
+        self.now_ms = ev.time_ms;
+        Some((ev.time_ms, ev.payload))
+    }
+
+    /// Current virtual time (time of the last popped event).
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventQueue(pending={}, now={}ms)", self.len(), self.now_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(30.0, 3);
+        q.schedule(10.0, 1);
+        q.schedule(20.0, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "a");
+        q.schedule(5.0, "b");
+        q.schedule(5.0, "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(12.5, ());
+        assert_eq!(q.now_ms(), 0.0);
+        let _ = q.pop();
+        assert_eq!(q.now_ms(), 12.5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "base");
+        let _ = q.pop(); // now = 10
+        q.schedule_in(5.0, "later");
+        assert_eq!(q.pop(), Some((15.0, "later")));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, ());
+        let _ = q.pop();
+        q.schedule(5.0, ());
+    }
+
+    #[test]
+    fn empty_pop_returns_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(100.0, 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(50.0, 3);
+        q.schedule(2.0, 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+}

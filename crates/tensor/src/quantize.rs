@@ -1,0 +1,95 @@
+//! Post-training weight quantization.
+//!
+//! The paper compresses the models deployed on the IoT device and edge
+//! server (§III-B: trainable nodes removed, parameters quantized FP32 →
+//! FP16). This module provides symmetric uniform quantization to an
+//! arbitrary bit width, which the model catalog uses to emulate the
+//! capability gap between deployment tiers (see DESIGN.md §2).
+
+use crate::Matrix;
+
+/// Quantizes every element to a symmetric uniform grid of `bits` bits:
+/// `w ↦ round(w/Δ)·Δ` with `Δ = max|w| / (2^{bits-1} − 1)`.
+///
+/// A zero matrix is returned unchanged. `bits = 1` collapses weights to
+/// `{−max, 0, +max}`.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 15.
+pub fn quantize_inplace(m: &mut Matrix, bits: u8) {
+    assert!(bits >= 1 && bits <= 15, "bits must be in 1..=15, got {bits}");
+    let max_abs = m.as_slice().iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
+    if max_abs == 0.0 {
+        return;
+    }
+    let levels = ((1u32 << (bits - 1)) - 1).max(1) as f32;
+    let delta = max_abs / levels;
+    m.map_inplace(|x| (x / delta).round() * delta);
+}
+
+/// Root-mean-square quantization error a grid of `bits` bits introduces on
+/// `m` (useful for calibrating deployment tiers).
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 15.
+pub fn quantization_rmse(m: &Matrix, bits: u8) -> f32 {
+    let mut q = m.clone();
+    quantize_inplace(&mut q, bits);
+    let diff = m - &q;
+    (diff.frobenius_norm_sq() / m.len() as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_bit_widths_are_nearly_lossless() {
+        let m = Matrix::from_rows(&[&[0.1, -0.2, 0.33], &[0.05, -0.44, 0.21]]);
+        assert!(quantization_rmse(&m, 14) < 1e-4);
+    }
+
+    #[test]
+    fn fewer_bits_mean_more_error() {
+        let data: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin() * 0.5).collect();
+        let m = Matrix::from_vec(8, 8, data);
+        let e4 = quantization_rmse(&m, 4);
+        let e6 = quantization_rmse(&m, 6);
+        let e8 = quantization_rmse(&m, 8);
+        assert!(e4 > e6 && e6 > e8, "{e4} {e6} {e8}");
+    }
+
+    #[test]
+    fn values_land_on_grid() {
+        let mut m = Matrix::from_rows(&[&[0.9, -0.3, 0.45]]);
+        quantize_inplace(&mut m, 3);
+        // max=0.9, levels=3, delta=0.3 → all values are multiples of 0.3.
+        for &v in m.as_slice() {
+            let ratio = v / 0.3;
+            assert!((ratio - ratio.round()).abs() < 1e-5, "{v} off-grid");
+        }
+    }
+
+    #[test]
+    fn zero_matrix_unchanged() {
+        let mut m = Matrix::zeros(2, 2);
+        quantize_inplace(&mut m, 4);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn max_magnitude_preserved() {
+        let mut m = Matrix::from_rows(&[&[1.0, -0.5]]);
+        quantize_inplace(&mut m, 5);
+        assert_eq!(m[(0, 0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn zero_bits_rejected() {
+        let mut m = Matrix::ones(1, 1);
+        quantize_inplace(&mut m, 0);
+    }
+}

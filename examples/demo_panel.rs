@@ -1,0 +1,88 @@
+//! A terminal rendition of the paper's demo GUI (Fig. 3): stream the test
+//! corpus through the HEC runtime, print the live panel rows (outcome vs
+//! truth, delay vs action, cumulative accuracy/F1) and a final summary —
+//! including the threaded message-passing runtime standing in for the
+//! testbed's keep-alive TCP sockets.
+//!
+//! ```text
+//! cargo run --release --example demo_panel
+//! ```
+
+use hec_ad::bandit::RewardModel;
+use hec_ad::core::stream::stream_records;
+use hec_ad::core::{DatasetConfig, Experiment, ExperimentConfig, SchemeEvaluator, SchemeKind};
+use hec_ad::data::power::PowerConfig;
+use hec_ad::sim::{DetectJob, HecRuntime};
+
+fn main() {
+    let config = ExperimentConfig {
+        dataset: DatasetConfig::Univariate(PowerConfig {
+            days: 200,
+            samples_per_day: 48,
+            anomaly_rate: 0.15,
+            noise_std: 0.03,
+            seed: 9,
+        }),
+        ad_epochs: 100,
+        seed: 9,
+        ..ExperimentConfig::univariate()
+    };
+    let payload = config.payload_bytes();
+    let alpha = config.dataset.kind().paper_alpha();
+
+    let mut exp = Experiment::prepare(config);
+    exp.train_detectors();
+    let policy_corpus = exp.split.policy_train.clone();
+    let policy_oracle = exp.oracle_over(&policy_corpus);
+    let (mut policy, scaler, _) = exp.train_policy(&policy_oracle);
+
+    let eval_corpus = exp.split.ad_test.clone();
+    let oracle = exp.oracle_over(&eval_corpus);
+    let ev = SchemeEvaluator::new(exp.topology(), payload, RewardModel::new(alpha));
+    let records =
+        stream_records(&ev, &oracle, SchemeKind::Adaptive, Some(&mut policy), Some(&scaler));
+
+    // Replay the chosen actions through the threaded runtime, as the demo
+    // testbed would: each job is routed to its layer's worker over channels.
+    let verdicts: Vec<bool> = records.iter().map(|r| r.predicted).collect();
+    let executors: Vec<_> = (0..3)
+        .map(|_| {
+            let v = verdicts.clone();
+            Box::new(move |id: u64| v[id as usize]) as _
+        })
+        .collect();
+    let runtime = HecRuntime::spawn(exp.topology().clone(), executors);
+    for r in &records {
+        runtime.submit(DetectJob { id: r.index as u64, layer: r.action, payload_bytes: payload });
+    }
+    let results = runtime.shutdown();
+
+    println!("┌──────┬───────┬──────┬────────┬───────────┬─────────┬────────┐");
+    println!("│  #   │ truth │ pred │ action │ delay(ms) │ cum.acc │ cum.F1 │");
+    println!("├──────┼───────┼──────┼────────┼───────────┼─────────┼────────┤");
+    for (r, job) in records.iter().zip(results.iter()).take(25) {
+        println!(
+            "│ {:>4} │   {}   │  {}   │ {:<6} │ {:>9.1} │  {:>5.3}  │ {:>5.3}  │",
+            r.index,
+            r.truth as u8,
+            r.predicted as u8,
+            ["IoT", "Edge", "Cloud"][r.action],
+            job.e2e_ms,
+            r.cumulative_accuracy,
+            r.cumulative_f1
+        );
+    }
+    println!("└──────┴───────┴──────┴────────┴───────────┴─────────┴────────┘");
+    if records.len() > 25 {
+        println!("… {} more rows", records.len() - 25);
+    }
+
+    let last = records.last().expect("non-empty stream");
+    let mean_delay: f64 = results.iter().map(|r| r.e2e_ms).sum::<f64>() / results.len() as f64;
+    let mut hist = [0usize; 3];
+    for r in &records {
+        hist[r.action] += 1;
+    }
+    println!("\nfinal: accuracy {:.2}%  f1 {:.3}  mean delay {:.1} ms", last.cumulative_accuracy * 100.0, last.cumulative_f1, mean_delay);
+    println!("actions: IoT {} / Edge {} / Cloud {}", hist[0], hist[1], hist[2]);
+}
