@@ -250,8 +250,7 @@ impl AnomalyDetector for AutoencoderDetector {
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(self.batch_size) {
-                let rows: Vec<Vec<f32>> =
-                    chunk.iter().map(|&i| train[i].flattened()).collect();
+                let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| train[i].flattened()).collect();
                 let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
                 let batch = Matrix::from_rows(&refs);
                 epoch_loss += self.net.train_batch(&batch, &batch, &Mse, &mut opt, 0.0);
@@ -274,9 +273,7 @@ impl AnomalyDetector for AutoencoderDetector {
             .map_err(|e| match e {
                 crate::scorer::ScorerError::Gaussian(g) => FitError::Scoring(g),
                 crate::scorer::ScorerError::EmptyCalibrationSet => {
-                    FitError::InvalidTrainingSet {
-                        reason: "no calibration errors produced".into(),
-                    }
+                    FitError::InvalidTrainingSet { reason: "no calibration errors produced".into() }
                 }
             })?;
         if let ThresholdRule::WindowFpr(_) = self.threshold_rule {
@@ -431,11 +428,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "widths must match")]
     fn asymmetric_architecture_rejected() {
-        let _ = AutoencoderDetector::new(
-            "bad",
-            AeArchitecture { layer_sizes: vec![16, 8, 12] },
-            0,
-        );
+        let _ = AutoencoderDetector::new("bad", AeArchitecture { layer_sizes: vec![16, 8, 12] }, 0);
     }
 
     #[test]

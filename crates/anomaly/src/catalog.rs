@@ -98,11 +98,7 @@ impl ModelCatalog {
     pub fn univariate(input_dim: usize, seed: u64) -> Self {
         Self {
             detectors: vec![
-                Box::new(AutoencoderDetector::new(
-                    "AE-IoT",
-                    AeArchitecture::iot(input_dim),
-                    seed,
-                )),
+                Box::new(AutoencoderDetector::new("AE-IoT", AeArchitecture::iot(input_dim), seed)),
                 Box::new(AutoencoderDetector::new(
                     "AE-Edge",
                     AeArchitecture::edge(input_dim),
@@ -132,9 +128,7 @@ impl ModelCatalog {
         let mut edge = Seq2SeqDetector::edge(input_dim, hidden, seed.wrapping_add(1));
         edge.set_input_bits(Some(4));
         let cloud = Seq2SeqDetector::cloud(input_dim, hidden, seed.wrapping_add(2));
-        Self {
-            detectors: vec![Box::new(iot), Box::new(edge), Box::new(cloud)],
-        }
+        Self { detectors: vec![Box::new(iot), Box::new(edge), Box::new(cloud)] }
     }
 
     /// Builds a catalog from three arbitrary detectors (bottom-up order).

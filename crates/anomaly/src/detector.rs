@@ -133,10 +133,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_empty() {
-        assert!(matches!(
-            validate_training_set(&[]),
-            Err(FitError::InvalidTrainingSet { .. })
-        ));
+        assert!(matches!(validate_training_set(&[]), Err(FitError::InvalidTrainingSet { .. })));
     }
 
     #[test]

@@ -132,9 +132,7 @@ impl ThresholdRule {
     pub fn threshold(&self, log_pds: &[f32]) -> f32 {
         assert!(!log_pds.is_empty(), "no calibration logPDs");
         match *self {
-            ThresholdRule::Min => {
-                log_pds.iter().copied().fold(f32::INFINITY, f32::min)
-            }
+            ThresholdRule::Min => log_pds.iter().copied().fold(f32::INFINITY, f32::min),
             ThresholdRule::Quantile(q) => {
                 assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
                 let mut sorted = log_pds.to_vec();
@@ -146,8 +144,7 @@ impl ThresholdRule {
                 assert!(k > 0.0, "k must be positive");
                 let n = log_pds.len() as f32;
                 let mean = log_pds.iter().sum::<f32>() / n;
-                let var =
-                    log_pds.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+                let var = log_pds.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
                 mean - k * var.sqrt()
             }
             ThresholdRule::WindowFpr(q) => {
@@ -290,10 +287,7 @@ mod tests {
     #[test]
     fn threshold_is_min_training_log_pd() {
         let scorer = LogPdScorer::fit(&calib(), 1e-4).unwrap();
-        let min = calib()
-            .iter()
-            .map(|e| scorer.log_pd(e))
-            .fold(f32::INFINITY, f32::min);
+        let min = calib().iter().map(|e| scorer.log_pd(e)).fold(f32::INFINITY, f32::min);
         assert!((scorer.threshold() - min).abs() < 1e-5);
     }
 

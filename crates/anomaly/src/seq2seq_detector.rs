@@ -75,7 +75,13 @@ impl Seq2SeqDetector {
     pub fn iot(input_dim: usize, hidden: usize, seed: u64) -> Self {
         Self::new(
             "LSTM-seq2seq-IoT",
-            Seq2SeqConfig { input_dim, encoder_hidden: hidden, bidirectional: false, seed, ..Default::default() },
+            Seq2SeqConfig {
+                input_dim,
+                encoder_hidden: hidden,
+                bidirectional: false,
+                seed,
+                ..Default::default()
+            },
         )
     }
 
@@ -227,7 +233,10 @@ impl AnomalyDetector for Seq2SeqDetector {
         for (i, w) in train.iter().enumerate() {
             if w.channels() != dim {
                 return Err(FitError::InvalidTrainingSet {
-                    reason: format!("window {i} has {} channels, model expects {dim}", w.channels()),
+                    reason: format!(
+                        "window {i} has {} channels, model expects {dim}",
+                        w.channels()
+                    ),
                 });
             }
         }
@@ -249,16 +258,13 @@ impl AnomalyDetector for Seq2SeqDetector {
             });
         }
 
-        let per_window: Vec<Vec<Vec<f32>>> =
-            train.iter().map(|w| self.window_errors(w)).collect();
+        let per_window: Vec<Vec<Vec<f32>>> = train.iter().map(|w| self.window_errors(w)).collect();
         let all_errors: Vec<Vec<f32>> = per_window.iter().flatten().cloned().collect();
         let mut scorer = LogPdScorer::fit_with_rule(&all_errors, 1e-4, self.threshold_rule)
             .map_err(|e| match e {
                 crate::scorer::ScorerError::Gaussian(g) => FitError::Scoring(g),
                 crate::scorer::ScorerError::EmptyCalibrationSet => {
-                    FitError::InvalidTrainingSet {
-                        reason: "no calibration errors produced".into(),
-                    }
+                    FitError::InvalidTrainingSet { reason: "no calibration errors produced".into() }
                 }
             })?;
         if let ThresholdRule::WindowFpr(_) = self.threshold_rule {
@@ -364,9 +370,8 @@ mod tests {
 
         let normal = sine_window(0.4, 0.03, 12);
         // High-frequency jagged window should be anomalous.
-        let weird_data: Vec<f32> = (0..12)
-            .flat_map(|t| if t % 2 == 0 { [2.0, -2.0] } else { [-2.0, 2.0] })
-            .collect();
+        let weird_data: Vec<f32> =
+            (0..12).flat_map(|t| if t % 2 == 0 { [2.0, -2.0] } else { [-2.0, 2.0] }).collect();
         let weird = LabeledWindow::new(Matrix::from_vec(12, 2, weird_data), true);
 
         let dn = det.detect(&normal);

@@ -214,11 +214,7 @@ mod tests {
         }
         for k in 0..3 {
             let freq = counts[k] as f32 / 3000.0;
-            assert!(
-                (freq - probs[k]).abs() < 0.05,
-                "action {k}: sampled {freq} vs π {}",
-                probs[k]
-            );
+            assert!((freq - probs[k]).abs() < 0.05, "action {k}: sampled {freq} vs π {}", probs[k]);
         }
     }
 

@@ -77,10 +77,7 @@ impl RewardModel {
     /// Note: the paper's absolute reward scale is not reproducible from the
     /// stated formula (see EXPERIMENTS.md); this is our declared scale, used
     /// consistently across all schemes so the ranking is meaningful.
-    pub fn aggregate_reward_x100(
-        &self,
-        outcomes: impl IntoIterator<Item = (bool, f64)>,
-    ) -> f64 {
+    pub fn aggregate_reward_x100(&self, outcomes: impl IntoIterator<Item = (bool, f64)>) -> f64 {
         let mut total = 0.0f64;
         let mut n = 0usize;
         for (correct, delay) in outcomes {

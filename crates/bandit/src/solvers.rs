@@ -99,9 +99,7 @@ impl LinUcb {
     fn theta(&self, arm: usize) -> Vec<f32> {
         // θ = A⁻¹ b
         let ainv = &self.a_inv[arm];
-        (0..self.dim)
-            .map(|i| vecops::dot(ainv.row(i), &self.b[arm]))
-            .collect()
+        (0..self.dim).map(|i| vecops::dot(ainv.row(i), &self.b[arm])).collect()
     }
 
     /// UCB score of an arm for a context.
@@ -122,8 +120,7 @@ impl BanditSolver for LinUcb {
 
     fn select(&mut self, context: &[f32], _rng: &mut dyn rand::RngCore) -> usize {
         assert_eq!(context.len(), self.dim, "context dimension mismatch");
-        let scores: Vec<f32> =
-            (0..self.a_inv.len()).map(|arm| self.score(arm, context)).collect();
+        let scores: Vec<f32> = (0..self.a_inv.len()).map(|arm| self.score(arm, context)).collect();
         vecops::argmax(&scores)
     }
 
@@ -207,12 +204,7 @@ mod tests {
     fn linucb_sherman_morrison_matches_direct_inverse() {
         // After a handful of rank-1 updates, A⁻¹·A ≈ I.
         let mut solver = LinUcb::new(2, 3, 1.0);
-        let contexts = [
-            [1.0f32, 0.5, -0.2],
-            [0.3, -1.0, 0.8],
-            [-0.6, 0.1, 0.4],
-            [0.9, 0.9, 0.9],
-        ];
+        let contexts = [[1.0f32, 0.5, -0.2], [0.3, -1.0, 0.8], [-0.6, 0.1, 0.4], [0.9, 0.9, 0.9]];
         let mut a = Matrix::eye(3);
         for ctx in contexts {
             solver.update(&ctx, 0, 1.0);

@@ -210,11 +210,10 @@ mod tests {
     #[test]
     fn trainer_learns_context_dependent_optimum() {
         // Context [1,0] → action 0 pays; context [0,1] → action 2 pays.
-        let contexts: Vec<Vec<f32>> = (0..40)
-            .map(|i| if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] })
-            .collect();
+        let contexts: Vec<Vec<f32>> =
+            (0..40).map(|i| if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] }).collect();
         let mut reward = |i: usize, a: usize| -> f32 {
-            let best = if i % 2 == 0 { 0 } else { 2 };
+            let best = if i.is_multiple_of(2) { 0 } else { 2 };
             if a == best {
                 1.0
             } else {
@@ -227,11 +226,7 @@ mod tests {
             TrainConfig { epochs: 60, learning_rate: 5e-3, ..Default::default() },
         );
         let curve = trainer.train(&contexts, &mut reward);
-        assert!(
-            curve.final_reward() > 0.85,
-            "final mean reward {} too low",
-            curve.final_reward()
-        );
+        assert!(curve.final_reward() > 0.85, "final mean reward {} too low", curve.final_reward());
         let policy = trainer.policy_mut();
         assert_eq!(policy.greedy(&[1.0, 0.0]), 0);
         assert_eq!(policy.greedy(&[0.0, 1.0]), 2);

@@ -86,14 +86,9 @@ fn main() {
             let mut caught = [0usize; 3];
             let mut total = 0usize;
             for subject in 0..config.subjects {
-                let session = gen.session_with_similarity(
-                    subject,
-                    activity,
-                    config.session_len,
-                    blend,
-                );
-                for w in sliding_windows(&std.transform(&session), config.window, config.stride)
-                {
+                let session =
+                    gen.session_with_similarity(subject, activity, config.session_len, blend);
+                for w in sliding_windows(&std.transform(&session), config.window, config.stride) {
                     total += 1;
                     let lw = LabeledWindow::new(w, true);
                     for (k, det) in catalog.detectors_mut().iter_mut().enumerate() {

@@ -35,7 +35,8 @@ fn main() {
 
     println!("--- (1) alpha sensitivity (Eq. 1 cost parameter) ---");
     let alphas = [5e-5, 2e-4, 5e-4, 2e-3, 1e-2];
-    for row in alpha_sweep(&train_oracle, &eval_oracle, &topo, payload, &alphas, policy_hidden, train)
+    for row in
+        alpha_sweep(&train_oracle, &eval_oracle, &topo, payload, &alphas, policy_hidden, train)
     {
         println!(
             "  alpha={:<8.0e} acc={:>6.2}%  delay={:>7.2} ms  reward={:>6.2}  local={:.0}%",
@@ -82,7 +83,8 @@ fn main() {
     }
 
     println!("\n--- (5) Successive confidence-rule sweep (paper: factor 2x, fraction 5%) ---");
-    for row in confidence_sweep(&eval_oracle, &topo, payload, alpha, &[1.5, 2.0, 3.0], &[0.02, 0.05, 0.10])
+    for row in
+        confidence_sweep(&eval_oracle, &topo, payload, alpha, &[1.5, 2.0, 3.0], &[0.02, 0.05, 0.10])
     {
         println!(
             "  factor={:<4} fraction={:<5} acc={:>6.2}%  f1={:.3}  delay={:>7.2} ms  local={:.0}%",

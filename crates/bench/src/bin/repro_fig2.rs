@@ -42,10 +42,18 @@ fn main() {
 
     println!("training curve (mean reward per epoch, first/mid/last):");
     let c = &curve.mean_reward_per_epoch;
-    println!("  epoch 1: {:.3}   epoch {}: {:.3}   epoch {}: {:.3}\n", c[0], c.len() / 2, c[c.len() / 2], c.len(), c[c.len() - 1]);
+    println!(
+        "  epoch 1: {:.3}   epoch {}: {:.3}   epoch {}: {:.3}\n",
+        c[0],
+        c.len() / 2,
+        c[c.len() / 2],
+        c.len(),
+        c[c.len() - 1]
+    );
 
     println!("worked selection trace:");
-    for (desc, hardness) in [("easy window", 0.0f32), ("medium window", 0.5), ("hard window", 1.0)] {
+    for (desc, hardness) in [("easy window", 0.0f32), ("medium window", 0.5), ("hard window", 1.0)]
+    {
         let ctx = vec![0.0, 1.0, 0.5, hardness];
         let probs = policy.probabilities(&ctx);
         let action = policy.greedy(&ctx);

@@ -53,10 +53,8 @@ fn main() {
         );
         if let Some(dir) = &out_dir {
             std::fs::create_dir_all(dir).expect("create output directory");
-            let path = format!(
-                "{dir}/fig3_{}.csv",
-                kind.to_string().to_lowercase().replace(' ', "_")
-            );
+            let path =
+                format!("{dir}/fig3_{}.csv", kind.to_string().to_lowercase().replace(' ', "_"));
             std::fs::write(&path, to_csv(&records)).expect("write CSV");
             println!("  wrote {path}");
         }

@@ -23,16 +23,8 @@ fn main() {
     let profile = Profile::from_env();
     println!("== repro_table2 (profile: {profile:?}) ==\n");
 
-    run(
-        "Univariate (power demand)",
-        univariate_config(profile),
-        &paper::TABLE2_UNIVARIATE,
-    );
-    run(
-        "Multivariate (MHEALTH-like)",
-        multivariate_config(profile),
-        &paper::TABLE2_MULTIVARIATE,
-    );
+    run("Univariate (power demand)", univariate_config(profile), &paper::TABLE2_UNIVARIATE);
+    run("Multivariate (MHEALTH-like)", multivariate_config(profile), &paper::TABLE2_MULTIVARIATE);
 
     println!(
         "note: the paper's Reward column uses an unreproducible absolute scale;\n\

@@ -32,9 +32,31 @@ pub enum Profile {
 impl Profile {
     /// Reads `HEC_PROFILE` (`quick`/`full`), defaulting to `Full`.
     pub fn from_env() -> Self {
-        match std::env::var("HEC_PROFILE").as_deref() {
-            Ok("quick") | Ok("QUICK") => Profile::Quick,
-            _ => Profile::Full,
+        Self::from_env_or(Profile::Full)
+    }
+
+    /// Reads `HEC_PROFILE` (case-insensitive, whitespace-trimmed), falling
+    /// back to `default` when unset. Unrecognized values also fall back but
+    /// warn on stderr, so a typo'd profile never silently runs at the wrong
+    /// scale. The integration tests use this with a `Quick` default so
+    /// `cargo test` stays seconds-scale, while `HEC_PROFILE=full` still
+    /// exercises the release-sized configuration.
+    pub fn from_env_or(default: Profile) -> Self {
+        let Ok(raw) = std::env::var("HEC_PROFILE") else {
+            return default;
+        };
+        let value = raw.trim();
+        if value.eq_ignore_ascii_case("quick") {
+            Profile::Quick
+        } else if value.eq_ignore_ascii_case("full") {
+            Profile::Full
+        } else {
+            if !value.is_empty() {
+                eprintln!(
+                    "warning: unrecognized HEC_PROFILE value {value:?} (expected \"quick\" or \"full\"); using the {default:?} profile"
+                );
+            }
+            default
         }
     }
 }

@@ -9,8 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use hec_anomaly::{ConfidenceRule, ThresholdRule};
 use hec_bandit::{
-    BanditSolver, ContextScaler, EpsilonGreedy, LinUcb, PolicyNetwork, PolicyTrainer,
-    RewardModel, TrainConfig, TrainingCurve,
+    BanditSolver, ContextScaler, EpsilonGreedy, LinUcb, PolicyNetwork, PolicyTrainer, RewardModel,
+    TrainConfig, TrainingCurve,
 };
 use hec_data::BinaryConfusion;
 use hec_sim::HecTopology;
@@ -56,10 +56,8 @@ pub fn alpha_sweep(
             let policy = PolicyNetwork::new(input_dim, policy_hidden, 3, train.seed);
             let mut trainer = PolicyTrainer::new(policy, train);
             let mut reward_of = |i: usize, a: usize| -> f32 {
-                reward.reward(
-                    train_oracle.correct(i, a),
-                    topology.end_to_end_ms(a, payload_bytes),
-                ) as f32
+                reward.reward(train_oracle.correct(i, a), topology.end_to_end_ms(a, payload_bytes))
+                    as f32
             };
             trainer.train(&scaled, &mut reward_of);
             let mut policy = trainer.into_policy();
@@ -72,8 +70,7 @@ pub fn alpha_sweep(
                 accuracy_pct: result.confusion.accuracy() * 100.0,
                 mean_delay_ms: result.mean_delay_ms,
                 reward: result.reward_x100.expect("adaptive always has a reward"),
-                local_fraction: result.action_histogram[0] as f64
-                    / eval_oracle.len().max(1) as f64,
+                local_fraction: result.action_histogram[0] as f64 / eval_oracle.len().max(1) as f64,
             }
         })
         .collect()
@@ -153,10 +150,8 @@ pub fn solver_comparison(
     let mut rows = Vec::new();
 
     // Classic solvers behind the common trait.
-    let mut classic: Vec<Box<dyn BanditSolver>> = vec![
-        Box::new(EpsilonGreedy::new(3, 0.1)),
-        Box::new(LinUcb::new(3, input_dim, 0.5)),
-    ];
+    let mut classic: Vec<Box<dyn BanditSolver>> =
+        vec![Box::new(EpsilonGreedy::new(3, 0.1)), Box::new(LinUcb::new(3, input_dim, 0.5))];
     for solver in classic.iter_mut() {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut total = 0.0f64;
@@ -189,10 +184,8 @@ pub fn solver_comparison(
 
     // The paper's policy-gradient solver.
     let policy = PolicyNetwork::new(input_dim, 100, 3, seed);
-    let mut trainer = PolicyTrainer::new(
-        policy,
-        TrainConfig { epochs, seed, ..Default::default() },
-    );
+    let mut trainer =
+        PolicyTrainer::new(policy, TrainConfig { epochs, seed, ..Default::default() });
     let mut oracle_reward = |i: usize, a: usize| reward_of(i, a);
     let curve = trainer.train(&scaled, &mut oracle_reward);
     let mut policy = trainer.into_policy();
@@ -387,7 +380,7 @@ pub fn threshold_rule_ablation(oracle: &Oracle) -> Vec<ThresholdRow> {
         .into_iter()
         .map(|(label, rule)| {
             let mut accuracy = [0.0f64; 3];
-            for layer in 0..3 {
+            for (layer, acc) in accuracy.iter_mut().enumerate() {
                 // Calibrate on the oracle's *normal* windows' minima, then
                 // re-derive verdicts for everything.
                 let normal_minima: Vec<f32> = oracle
@@ -405,7 +398,7 @@ pub fn threshold_rule_ablation(oracle: &Oracle) -> Vec<ThresholdRow> {
                     .iter()
                     .filter(|o| (o.min_log_pd[layer] < threshold) == o.truth)
                     .count();
-                accuracy[layer] = 100.0 * correct as f64 / oracle.len() as f64;
+                *acc = 100.0 * correct as f64 / oracle.len() as f64;
             }
             ThresholdRow { rule: label, accuracy_pct: accuracy }
         })

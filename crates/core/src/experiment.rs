@@ -7,7 +7,9 @@
 //! whole dataset (Tables I and II).
 
 use hec_anomaly::ModelCatalog;
-use hec_bandit::{ContextScaler, PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig, TrainingCurve};
+use hec_bandit::{
+    ContextScaler, PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig, TrainingCurve,
+};
 use hec_data::{
     mhealth::{Activity, MhealthConfig, MhealthGenerator},
     paper_split,
@@ -131,13 +133,11 @@ impl Experiment {
     pub fn prepare(config: ExperimentConfig) -> Self {
         let kind = config.dataset.kind();
         let topology = HecTopology::paper_testbed(kind);
-        let (windows, class_of): (Vec<LabeledWindow>, Vec<Option<usize>>) = match &config.dataset
-        {
+        let (windows, class_of): (Vec<LabeledWindow>, Vec<Option<usize>>) = match &config.dataset {
             DatasetConfig::Univariate(power) => {
                 let gen = PowerGenerator::new(power.clone());
                 let days = gen.generate();
-                let classes =
-                    days.iter().map(|(_, k)| k.map(|kind| kind.class_index())).collect();
+                let classes = days.iter().map(|(_, k)| k.map(|kind| kind.class_index())).collect();
                 (days.into_iter().map(|(w, _)| w).collect(), classes)
             }
             DatasetConfig::Multivariate(mh) => {
@@ -154,11 +154,8 @@ impl Experiment {
         // Standardise with statistics from normal windows only (the paper
         // standardises all training tasks; detectors must not see anomaly
         // statistics).
-        let normal_rows: Vec<Matrix> = windows
-            .iter()
-            .filter(|w| !w.anomalous)
-            .map(|w| w.data.clone())
-            .collect();
+        let normal_rows: Vec<Matrix> =
+            windows.iter().filter(|w| !w.anomalous).map(|w| w.data.clone()).collect();
         let stacked = stack_rows(&normal_rows);
         let standardizer = Standardizer::fit(&stacked);
         let windows: Vec<LabeledWindow> = windows
@@ -274,9 +271,7 @@ impl Experiment {
         let mut adaptive_actions = [0usize; 3];
         for kind in SchemeKind::ALL {
             let result = match kind {
-                SchemeKind::Adaptive => {
-                    ev.evaluate(kind, eval_oracle, Some(policy), Some(scaler))
-                }
+                SchemeKind::Adaptive => ev.evaluate(kind, eval_oracle, Some(policy), Some(scaler)),
                 _ => ev.evaluate(kind, eval_oracle, None, None),
             };
             if kind == SchemeKind::Adaptive {
@@ -365,9 +360,8 @@ mod tests {
         assert!(report.table1[0].exec_ms > report.table1[2].exec_ms);
 
         // Table II invariants.
-        let by_scheme = |k: SchemeKind| {
-            report.table2.iter().find(|r| r.scheme == k).expect("scheme present")
-        };
+        let by_scheme =
+            |k: SchemeKind| report.table2.iter().find(|r| r.scheme == k).expect("scheme present");
         let iot = by_scheme(SchemeKind::IoTDevice);
         let cloud = by_scheme(SchemeKind::Cloud);
         let adaptive = by_scheme(SchemeKind::Adaptive);
@@ -383,10 +377,7 @@ mod tests {
         }
         // The policy must actually mix actions or pick a sensible single
         // layer; at minimum the histogram sums to the corpus size.
-        assert_eq!(
-            report.adaptive_actions.iter().sum::<usize>(),
-            report.eval_windows
-        );
+        assert_eq!(report.adaptive_actions.iter().sum::<usize>(), report.eval_windows);
     }
 
     #[test]

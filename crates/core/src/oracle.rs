@@ -52,9 +52,8 @@ impl Oracle {
         let mut thresholds = [0.0f32; 3];
         let mut per_layer: Vec<Vec<(f32, f32)>> = Vec::with_capacity(3);
         for (layer, det) in catalog.detectors_mut().iter_mut().enumerate() {
-            thresholds[layer] = det
-                .threshold()
-                .expect("detector must be fitted before precomputing outcomes");
+            thresholds[layer] =
+                det.threshold().expect("detector must be fitted before precomputing outcomes");
             let scores = windows
                 .iter()
                 .map(|w| {
@@ -77,12 +76,7 @@ impl Oracle {
             })
             .collect();
 
-        Self {
-            outcomes,
-            thresholds,
-            flag_fraction: 0.0,
-            confidence: ConfidenceRule::default(),
-        }
+        Self { outcomes, thresholds, flag_fraction: 0.0, confidence: ConfidenceRule::default() }
     }
 
     /// Like [`Oracle::precompute`] but with exact thresholds supplied by the
@@ -226,8 +220,7 @@ mod tests {
     fn explicit_thresholds_are_adopted() {
         let mut catalog = fitted_catalog(16);
         let windows = vec![ramp(16, 0.0)];
-        let oracle =
-            Oracle::precompute_with_thresholds(&mut catalog, &windows, [-1.0, -2.0, -3.0]);
+        let oracle = Oracle::precompute_with_thresholds(&mut catalog, &windows, [-1.0, -2.0, -3.0]);
         assert_eq!(oracle.thresholds, [-1.0, -2.0, -3.0]);
     }
 

@@ -254,10 +254,7 @@ mod tests {
         let succ = ev.evaluate(SchemeKind::Successive, &oracle, None, None);
         // Easy windows (confident at layer 0) stay local; hard ones escalate.
         assert!(succ.action_histogram[0] > 0, "no window stayed at IoT");
-        assert!(
-            succ.action_histogram[1] + succ.action_histogram[2] > 0,
-            "no window escalated"
-        );
+        assert!(succ.action_histogram[1] + succ.action_histogram[2] > 0, "no window escalated");
         // Successive is cheaper than Cloud here (half the windows stay local).
         let cloud = ev.evaluate(SchemeKind::Cloud, &oracle, None, None);
         assert!(succ.mean_delay_ms < cloud.mean_delay_ms);
@@ -285,8 +282,7 @@ mod tests {
         trainer.train(&scaled, &mut reward_of);
         let mut policy = trainer.into_policy();
 
-        let adaptive =
-            ev.evaluate(SchemeKind::Adaptive, &oracle, Some(&mut policy), Some(&scaler));
+        let adaptive = ev.evaluate(SchemeKind::Adaptive, &oracle, Some(&mut policy), Some(&scaler));
         let iot = ev.evaluate(SchemeKind::IoTDevice, &oracle, None, None);
         let cloud = ev.evaluate(SchemeKind::Cloud, &oracle, None, None);
 

@@ -79,9 +79,8 @@ pub fn stream_records(
 /// Renders stream records as CSV (header + one line per window), the format
 /// the `repro_fig3` bench binary writes.
 pub fn to_csv(records: &[StreamRecord]) -> String {
-    let mut out = String::from(
-        "index,truth,predicted,action,delay_ms,cumulative_accuracy,cumulative_f1\n",
-    );
+    let mut out =
+        String::from("index,truth,predicted,action,delay_ms,cumulative_accuracy,cumulative_f1\n");
     for r in records {
         out.push_str(&format!(
             "{},{},{},{},{:.3},{:.6},{:.6}\n",

@@ -303,9 +303,8 @@ impl MhealthGenerator {
                 1.0 + 0.12 * (std::f32::consts::TAU * wander_rate * t + wander_phase).sin();
             theta += std::f32::consts::TAU * f0 * wander * dt;
             for c in 0..CHANNELS {
-                let amp_mod = 1.0
-                    + 0.25
-                        * (std::f32::consts::TAU * mod_rates[c] * t + mod_phases[c]).sin();
+                let amp_mod =
+                    1.0 + 0.25 * (std::f32::consts::TAU * mod_rates[c] * t + mod_phases[c]).sin();
                 let own = self.signatures[activity.index() * CHANNELS + c];
                 let base = self.signatures[walk.index() * CHANNELS + c];
                 let sig = Signature {

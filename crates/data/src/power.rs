@@ -104,10 +104,7 @@ impl PowerGenerator {
     pub fn new(config: PowerConfig) -> Self {
         assert!(config.days > 0, "days must be non-zero");
         assert!(config.samples_per_day >= 8, "need at least 8 samples per day");
-        assert!(
-            (0.0..=1.0).contains(&config.anomaly_rate),
-            "anomaly_rate must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&config.anomaly_rate), "anomaly_rate must be in [0, 1]");
         Self { config }
     }
 
@@ -293,30 +290,21 @@ mod tests {
     fn holiday_has_lower_mean_than_normal() {
         let days = small().generate();
         let mean_of = |pred: &dyn Fn(&Option<AnomalyKind>) -> bool| {
-            let sel: Vec<f32> = days
-                .iter()
-                .filter(|(_, k)| pred(k))
-                .map(|(w, _)| w.data.mean())
-                .collect();
+            let sel: Vec<f32> =
+                days.iter().filter(|(_, k)| pred(k)).map(|(w, _)| w.data.mean()).collect();
             sel.iter().sum::<f32>() / sel.len().max(1) as f32
         };
         let normal = mean_of(&|k| k.is_none());
         let holiday = mean_of(&|k| matches!(k, Some(AnomalyKind::Holiday)));
-        assert!(
-            holiday < normal * 0.8,
-            "holiday mean {holiday} not clearly below normal {normal}"
-        );
+        assert!(holiday < normal * 0.8, "holiday mean {holiday} not clearly below normal {normal}");
     }
 
     #[test]
     fn damped_peaks_is_subtler_than_holiday() {
         // Hardness ordering: the damped-peaks deviation from the normal
         // profile is smaller than the holiday deviation.
-        let gen = PowerGenerator::new(PowerConfig {
-            days: 400,
-            noise_std: 0.0,
-            ..Default::default()
-        });
+        let gen =
+            PowerGenerator::new(PowerConfig { days: 400, noise_std: 0.0, ..Default::default() });
         let days = gen.generate();
         let template: Vec<f32> = (0..96).map(|s| weekday_shape(s as f32 / 96.0)).collect();
         let avg_dev = |kind: AnomalyKind| {
@@ -337,10 +325,7 @@ mod tests {
         };
         let holiday = avg_dev(AnomalyKind::Holiday);
         let damped = avg_dev(AnomalyKind::DampedPeaks);
-        assert!(
-            damped < holiday,
-            "expected damped ({damped}) subtler than holiday ({holiday})"
-        );
+        assert!(damped < holiday, "expected damped ({damped}) subtler than holiday ({holiday})");
     }
 
     #[test]

@@ -157,12 +157,8 @@ mod tests {
         let (windows, ids) = corpus(40, &[20]);
         let a = paper_split(&windows, &|i| ids[i], 1);
         let b = paper_split(&windows, &|i| ids[i], 2);
-        let same = a
-            .ad_train
-            .iter()
-            .zip(b.ad_train.iter())
-            .filter(|(x, y)| x.data == y.data)
-            .count();
+        let same =
+            a.ad_train.iter().zip(b.ad_train.iter()).filter(|(x, y)| x.data == y.data).count();
         assert!(same < a.ad_train.len(), "shuffles identical across seeds");
     }
 

@@ -121,12 +121,7 @@ mod tests {
 
     #[test]
     fn transform_gives_zero_mean_unit_variance() {
-        let data = Matrix::from_rows(&[
-            &[1.0, 100.0],
-            &[2.0, 200.0],
-            &[3.0, 300.0],
-            &[4.0, 400.0],
-        ]);
+        let data = Matrix::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0], &[4.0, 400.0]]);
         let s = Standardizer::fit(&data);
         let z = s.transform(&data);
         for c in 0..2 {

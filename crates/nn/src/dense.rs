@@ -116,10 +116,8 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .take()
-            .expect("Dense::backward called without training-mode forward");
+        let input =
+            self.cached_input.take().expect("Dense::backward called without training-mode forward");
         let output = self.cached_output.take().expect("missing cached output");
         // δ = ∂L/∂z = ∂L/∂y ⊙ f'(z), with f' expressed from the output.
         let delta = grad_output.hadamard(&self.activation.derivative_from_output(&output));
@@ -224,8 +222,8 @@ mod tests {
             xp.as_mut_slice()[i] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
-            let numeric = (layer.forward(&xp, false).sum() - layer.forward(&xm, false).sum())
-                / (2.0 * eps);
+            let numeric =
+                (layer.forward(&xp, false).sum() - layer.forward(&xm, false).sum()) / (2.0 * eps);
             let analytic = dx.as_slice()[i];
             assert!(
                 (analytic - numeric).abs() < 5e-3 * (1.0 + numeric.abs()),

@@ -54,7 +54,8 @@ struct StepCache {
     f: Matrix,
     g: Matrix,
     o: Matrix,
-    #[allow(dead_code)] c: Matrix,
+    #[allow(dead_code)]
+    c: Matrix,
     tanh_c: Matrix,
 }
 
@@ -309,7 +310,13 @@ impl Lstm {
 
 impl std::fmt::Debug for Lstm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Lstm(in={}, hidden={}, params={})", self.input_dim, self.hidden, self.param_count())
+        write!(
+            f,
+            "Lstm(in={}, hidden={}, params={})",
+            self.input_dim,
+            self.hidden,
+            self.param_count()
+        )
     }
 }
 
@@ -330,7 +337,10 @@ impl BiLstm {
     ///
     /// Panics if either dimension is zero.
     pub fn new(rng: &mut impl Rng, input_dim: usize, hidden: usize) -> Self {
-        Self { forward: Lstm::new(rng, input_dim, hidden), backward: Lstm::new(rng, input_dim, hidden) }
+        Self {
+            forward: Lstm::new(rng, input_dim, hidden),
+            backward: Lstm::new(rng, input_dim, hidden),
+        }
     }
 
     /// Per-direction hidden size.
@@ -367,22 +377,12 @@ impl BiLstm {
         let batch = d_state.h.rows();
         let zeros: Vec<Matrix> = vec![Matrix::zeros(batch, h); t_len];
 
-        let df = LstmState {
-            h: d_state.h.slice_cols(0, h),
-            c: d_state.c.slice_cols(0, h),
-        };
-        let db = LstmState {
-            h: d_state.h.slice_cols(h, 2 * h),
-            c: d_state.c.slice_cols(h, 2 * h),
-        };
+        let df = LstmState { h: d_state.h.slice_cols(0, h), c: d_state.c.slice_cols(0, h) };
+        let db = LstmState { h: d_state.h.slice_cols(h, 2 * h), c: d_state.c.slice_cols(h, 2 * h) };
         let (dx_fwd, _) = self.forward.backward_seq(&zeros, Some(&df));
         let (dx_bwd_rev, _) = self.backward.backward_seq(&zeros, Some(&db));
 
-        dx_fwd
-            .into_iter()
-            .zip(dx_bwd_rev.into_iter().rev())
-            .map(|(a, b)| &a + &b)
-            .collect()
+        dx_fwd.into_iter().zip(dx_bwd_rev.into_iter().rev()).map(|(a, b)| &a + &b).collect()
     }
 
     /// Visits both directions' parameters.
@@ -455,7 +455,8 @@ mod tests {
         let xs = seq(&mut rng, 3, 2, 2);
 
         let states = lstm.forward_seq(&xs, true);
-        let dhs: Vec<Matrix> = states.iter().map(|s| Matrix::ones(s.h.rows(), s.h.cols())).collect();
+        let dhs: Vec<Matrix> =
+            states.iter().map(|s| Matrix::ones(s.h.rows(), s.h.cols())).collect();
         let _ = lstm.backward_seq(&dhs, None);
         let analytic = lstm.grad_wx.clone();
 
@@ -482,7 +483,8 @@ mod tests {
         let xs = seq(&mut rng, 4, 1, 2);
 
         let states = lstm.forward_seq(&xs, true);
-        let dhs: Vec<Matrix> = states.iter().map(|s| Matrix::ones(s.h.rows(), s.h.cols())).collect();
+        let dhs: Vec<Matrix> =
+            states.iter().map(|s| Matrix::ones(s.h.rows(), s.h.cols())).collect();
         let _ = lstm.backward_seq(&dhs, None);
         let analytic_wh = lstm.grad_wh.clone();
         let analytic_b = lstm.grad_b.clone();
@@ -598,10 +600,7 @@ mod tests {
         let xs = seq(&mut rng, 3, 1, 2);
 
         let s = bi.encode(&xs, true);
-        let d = LstmState {
-            h: Matrix::ones(1, s.h.cols()),
-            c: Matrix::zeros(1, s.c.cols()),
-        };
+        let d = LstmState { h: Matrix::ones(1, s.h.cols()), c: Matrix::zeros(1, s.c.cols()) };
         let dxs = bi.backward_from_state(&d);
 
         let loss = |bi: &mut BiLstm, xs: &[Matrix]| bi.encode(xs, false).h.sum();

@@ -61,10 +61,8 @@ impl Optimizer for Sgd {
             param.add_scaled(grad, -self.lr);
             return;
         }
-        let v = self
-            .velocity
-            .entry(slot)
-            .or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+        let v =
+            self.velocity.entry(slot).or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
         // v = µ·v − lr·g ; θ += v
         *v = v.scale(self.momentum);
         v.add_scaled(grad, -self.lr);
@@ -116,10 +114,8 @@ impl RmsProp {
 
 impl Optimizer for RmsProp {
     fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
-        let ms = self
-            .mean_sq
-            .entry(slot)
-            .or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+        let ms =
+            self.mean_sq.entry(slot).or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
         let d = self.decay;
         // ms = ρ·ms + (1-ρ)·g²
         for (m, &g) in ms.as_mut_slice().iter_mut().zip(grad.as_slice().iter()) {
@@ -127,11 +123,8 @@ impl Optimizer for RmsProp {
         }
         let lr = self.lr;
         let eps = self.epsilon;
-        for ((p, &g), &m) in param
-            .as_mut_slice()
-            .iter_mut()
-            .zip(grad.as_slice().iter())
-            .zip(ms.as_slice().iter())
+        for ((p, &g), &m) in
+            param.as_mut_slice().iter_mut().zip(grad.as_slice().iter()).zip(ms.as_slice().iter())
         {
             *p -= lr * g / (m.sqrt() + eps);
         }
@@ -182,11 +175,8 @@ impl Optimizer for Adam {
             (Matrix::zeros(param.rows(), param.cols()), Matrix::zeros(param.rows(), param.cols()))
         });
         let (b1, b2) = (self.beta1, self.beta2);
-        for ((mi, vi), &g) in m
-            .as_mut_slice()
-            .iter_mut()
-            .zip(v.as_mut_slice().iter_mut())
-            .zip(grad.as_slice().iter())
+        for ((mi, vi), &g) in
+            m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(grad.as_slice().iter())
         {
             *mi = b1 * *mi + (1.0 - b1) * g;
             *vi = b2 * *vi + (1.0 - b2) * g * g;
@@ -195,11 +185,8 @@ impl Optimizer for Adam {
         let bias2 = 1.0 - b2.powi(t as i32);
         let lr = self.lr;
         let eps = self.epsilon;
-        for ((p, &mi), &vi) in param
-            .as_mut_slice()
-            .iter_mut()
-            .zip(m.as_slice().iter())
-            .zip(v.as_slice().iter())
+        for ((p, &mi), &vi) in
+            param.as_mut_slice().iter_mut().zip(m.as_slice().iter()).zip(v.as_slice().iter())
         {
             let m_hat = mi / bias1;
             let v_hat = vi / bias2;
@@ -259,8 +246,7 @@ mod tests {
         let mut theta = Matrix::from_rows(&[&[10.0, 10.0]]);
         for _ in 0..2000 {
             // f = 100·x² + 0.01·y²
-            let grad =
-                Matrix::from_rows(&[&[200.0 * theta[(0, 0)], 0.02 * theta[(0, 1)]]]);
+            let grad = Matrix::from_rows(&[&[200.0 * theta[(0, 0)], 0.02 * theta[(0, 1)]]]);
             opt.step(0, &mut theta, &grad);
         }
         assert!(theta[(0, 0)].abs() < 0.1, "steep coord did not converge: {theta:?}");

@@ -60,9 +60,11 @@ impl Default for Seq2SeqConfig {
     }
 }
 
+// Both variants boxed: the LSTM weight structs are hundreds of bytes, and
+// Seq2Seq is moved around by value during catalog construction.
 enum Encoder {
-    Uni(Lstm),
-    Bi(BiLstm),
+    Uni(Box<Lstm>),
+    Bi(Box<BiLstm>),
 }
 
 /// An LSTM encoder–decoder that learns to reconstruct its input sequence.
@@ -106,9 +108,9 @@ impl Seq2Seq {
         let dec_hidden =
             if config.bidirectional { 2 * config.encoder_hidden } else { config.encoder_hidden };
         let encoder = if config.bidirectional {
-            Encoder::Bi(BiLstm::new(&mut rng, config.input_dim, config.encoder_hidden))
+            Encoder::Bi(Box::new(BiLstm::new(&mut rng, config.input_dim, config.encoder_hidden)))
         } else {
-            Encoder::Uni(Lstm::new(&mut rng, config.input_dim, config.encoder_hidden))
+            Encoder::Uni(Box::new(Lstm::new(&mut rng, config.input_dim, config.encoder_hidden)))
         };
         let decoder = Lstm::new(&mut rng, config.input_dim, dec_hidden);
         let output = Dense::new(&mut rng, dec_hidden, config.input_dim, Activation::Linear);
@@ -269,7 +271,9 @@ impl Seq2Seq {
         let ys = self.reconstruct(xs);
         xs.iter()
             .zip(ys.iter())
-            .map(|(x, y)| x.as_slice().iter().zip(y.as_slice().iter()).map(|(a, b)| a - b).collect())
+            .map(|(x, y)| {
+                x.as_slice().iter().zip(y.as_slice().iter()).map(|(a, b)| a - b).collect()
+            })
             .collect()
     }
 
@@ -324,9 +328,8 @@ mod tests {
     fn sine_window(t_len: usize, dim: usize, phase: f32) -> Vec<Matrix> {
         (0..t_len)
             .map(|t| {
-                let row: Vec<f32> = (0..dim)
-                    .map(|d| ((t as f32) * 0.4 + phase + d as f32).sin())
-                    .collect();
+                let row: Vec<f32> =
+                    (0..dim).map(|d| ((t as f32) * 0.4 + phase + d as f32).sin()).collect();
                 Matrix::row_vector(&row)
             })
             .collect()
@@ -364,10 +367,7 @@ mod tests {
         for _ in 0..150 {
             last = model.train_batch(&xs, &mut opt);
         }
-        assert!(
-            last < first * 0.5,
-            "training failed to reduce loss: first {first}, last {last}"
-        );
+        assert!(last < first * 0.5, "training failed to reduce loss: first {first}, last {last}");
     }
 
     #[test]
@@ -411,22 +411,14 @@ mod tests {
             model.train_batch(&xs, &mut opt);
         }
         let normal = sine_window(8, 2, 0.05);
-        let weird: Vec<Matrix> =
-            (0..8).map(|t| Matrix::row_vector(&[if t % 2 == 0 { 2.0 } else { -2.0 }, 0.0])).collect();
-        let err_n: f32 = model
-            .reconstruction_errors(&normal)
-            .iter()
-            .flat_map(|e| e.iter().map(|v| v * v))
-            .sum();
-        let err_w: f32 = model
-            .reconstruction_errors(&weird)
-            .iter()
-            .flat_map(|e| e.iter().map(|v| v * v))
-            .sum();
-        assert!(
-            err_w > err_n,
-            "anomalous window not separated: normal {err_n}, weird {err_w}"
-        );
+        let weird: Vec<Matrix> = (0..8)
+            .map(|t| Matrix::row_vector(&[if t % 2 == 0 { 2.0 } else { -2.0 }, 0.0]))
+            .collect();
+        let err_n: f32 =
+            model.reconstruction_errors(&normal).iter().flat_map(|e| e.iter().map(|v| v * v)).sum();
+        let err_w: f32 =
+            model.reconstruction_errors(&weird).iter().flat_map(|e| e.iter().map(|v| v * v)).sum();
+        assert!(err_w > err_n, "anomalous window not separated: normal {err_n}, weird {err_w}");
     }
 
     #[test]

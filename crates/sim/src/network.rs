@@ -113,8 +113,7 @@ mod tests {
     fn jitter_varies_but_stays_positive() {
         let link = Link::delay_only(50.0).with_jitter(20.0);
         let mut rng = StdRng::seed_from_u64(5);
-        let samples: Vec<f64> =
-            (0..200).map(|_| link.transfer_ms_jittered(0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..200).map(|_| link.transfer_ms_jittered(0, &mut rng)).collect();
         assert!(samples.iter().all(|&t| t >= 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 50.0).abs() < 5.0, "mean {mean}");

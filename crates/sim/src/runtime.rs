@@ -154,7 +154,12 @@ impl HecRuntime {
 
 impl std::fmt::Debug for HecRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "HecRuntime(layers={}, active={})", self.layer_counts.lock().len(), self.submit_tx.is_some())
+        write!(
+            f,
+            "HecRuntime(layers={}, active={})",
+            self.layer_counts.lock().len(),
+            self.submit_tx.is_some()
+        )
     }
 }
 
@@ -165,8 +170,9 @@ mod tests {
 
     fn runtime() -> HecRuntime {
         let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
-        let executors: Vec<Executor> =
-            (0..3).map(|layer| Box::new(move |id: u64| id % 2 == layer as u64 % 2) as Executor).collect();
+        let executors: Vec<Executor> = (0..3)
+            .map(|layer| Box::new(move |id: u64| id % 2 == layer as u64 % 2) as Executor)
+            .collect();
         HecRuntime::spawn(topo, executors)
     }
 
@@ -199,11 +205,8 @@ mod tests {
     #[test]
     fn executors_produce_verdicts() {
         let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
-        let executors: Vec<Executor> = vec![
-            Box::new(|_| true),
-            Box::new(|_| false),
-            Box::new(|id| id == 7),
-        ];
+        let executors: Vec<Executor> =
+            vec![Box::new(|_| true), Box::new(|_| false), Box::new(|id| id == 7)];
         let rt = HecRuntime::spawn(topo, executors);
         rt.submit(DetectJob { id: 7, layer: 2, payload_bytes: 0 });
         rt.submit(DetectJob { id: 8, layer: 2, payload_bytes: 0 });

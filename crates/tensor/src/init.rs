@@ -107,8 +107,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let w = normal(&mut rng, 100, 100, 0.5);
         let mean = w.mean();
-        let var = w.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / w.len() as f32;
+        let var =
+            w.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std {} too far from 0.5", var.sqrt());
     }

@@ -310,11 +310,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -516,8 +512,7 @@ impl fmt::Debug for Matrix {
         let show = self.rows.min(6);
         for r in 0..show {
             let row = self.row(r);
-            let cells: Vec<String> =
-                row.iter().take(8).map(|x| format!("{x:>9.4}")).collect();
+            let cells: Vec<String> = row.iter().take(8).map(|x| format!("{x:>9.4}")).collect();
             let ellipsis = if self.cols > 8 { ", …" } else { "" };
             writeln!(f, "  [{}{}]", cells.join(", "), ellipsis)?;
         }

@@ -18,7 +18,7 @@ use crate::Matrix;
 ///
 /// Panics if `bits` is 0 or greater than 15.
 pub fn quantize_inplace(m: &mut Matrix, bits: u8) {
-    assert!(bits >= 1 && bits <= 15, "bits must be in 1..=15, got {bits}");
+    assert!((1..=15).contains(&bits), "bits must be in 1..=15, got {bits}");
     let max_abs = m.as_slice().iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
     if max_abs == 0.0 {
         return;

@@ -83,6 +83,11 @@ fn main() {
     for r in &records {
         hist[r.action] += 1;
     }
-    println!("\nfinal: accuracy {:.2}%  f1 {:.3}  mean delay {:.1} ms", last.cumulative_accuracy * 100.0, last.cumulative_f1, mean_delay);
+    println!(
+        "\nfinal: accuracy {:.2}%  f1 {:.3}  mean delay {:.1} ms",
+        last.cumulative_accuracy * 100.0,
+        last.cumulative_f1,
+        mean_delay
+    );
     println!("actions: IoT {} / Edge {} / Cloud {}", hist[0], hist[1], hist[2]);
 }

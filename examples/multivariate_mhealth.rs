@@ -33,11 +33,8 @@ fn main() {
     );
 
     // Standardise on normal windows, split per the paper.
-    let normals: Vec<Matrix> = pairs
-        .iter()
-        .filter(|(w, _)| !w.anomalous)
-        .map(|(w, _)| w.data.clone())
-        .collect();
+    let normals: Vec<Matrix> =
+        pairs.iter().filter(|(w, _)| !w.anomalous).map(|(w, _)| w.data.clone()).collect();
     let mut stacked = normals[0].clone();
     for m in &normals[1..] {
         stacked = stacked.vconcat(m);
@@ -47,10 +44,8 @@ fn main() {
         .iter()
         .map(|(w, _)| LabeledWindow::new(std.transform(&w.data), w.anomalous))
         .collect();
-    let classes: Vec<Option<usize>> = pairs
-        .iter()
-        .map(|(_, a)| if a.is_normal() { None } else { Some(a.index()) })
-        .collect();
+    let classes: Vec<Option<usize>> =
+        pairs.iter().map(|(_, a)| if a.is_normal() { None } else { Some(a.index()) }).collect();
     let split = paper_split(&windows, &|i| classes[i], 5);
     println!(
         "split: {} AD-train / {} AD-test / {} policy-train\n",

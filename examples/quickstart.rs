@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hec_ad::core::{
-    format_table1, format_table2, DatasetConfig, Experiment, ExperimentConfig,
-};
+use hec_ad::core::{format_table1, format_table2, DatasetConfig, Experiment, ExperimentConfig};
 use hec_ad::data::power::PowerConfig;
 
 fn main() {

@@ -37,20 +37,15 @@ fn main() {
     }
 
     // Standardise on normal days, split per the paper.
-    let normals: Vec<Matrix> = days
-        .iter()
-        .filter(|(w, _)| !w.anomalous)
-        .map(|(w, _)| w.data.clone())
-        .collect();
+    let normals: Vec<Matrix> =
+        days.iter().filter(|(w, _)| !w.anomalous).map(|(w, _)| w.data.clone()).collect();
     let mut stacked = normals[0].clone();
     for m in &normals[1..] {
         stacked = stacked.vconcat(m);
     }
     let std = Standardizer::fit(&stacked);
-    let windows: Vec<LabeledWindow> = days
-        .iter()
-        .map(|(w, _)| LabeledWindow::new(std.transform(&w.data), w.anomalous))
-        .collect();
+    let windows: Vec<LabeledWindow> =
+        days.iter().map(|(w, _)| LabeledWindow::new(std.transform(&w.data), w.anomalous)).collect();
     let classes: Vec<Option<usize>> =
         days.iter().map(|(_, k)| k.map(|x| x.class_index())).collect();
     let split = paper_split(&windows, &|i| classes[i], 11);
@@ -75,7 +70,10 @@ fn main() {
     }
 
     println!("\ndetection rate by anomaly hardness (per model):");
-    println!("{:<12} {:>9} {:>9} {:>9} {:>12}", "Model", "Holiday", "Outage", "Damped", "FalsePos(%)");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>12}",
+        "Model", "Holiday", "Outage", "Damped", "FalsePos(%)"
+    );
     for det in catalog.detectors_mut() {
         let mut caught = [0usize; 3];
         let mut totals = [0usize; 3];

@@ -1,25 +1,27 @@
 //! End-to-end integration tests: the whole paper pipeline at test scale.
+//!
+//! The configuration comes from `hec-bench`'s shared profiles, honoring
+//! `HEC_PROFILE` with a `quick` default so `cargo test` stays seconds-scale
+//! (`HEC_PROFILE=full cargo test` runs the release-sized experiment).
 
-use hec_ad::bandit::TrainConfig;
 use hec_ad::core::{DatasetConfig, Experiment, ExperimentConfig, SchemeKind};
-use hec_ad::data::power::PowerConfig;
 use hec_ad::sim::DatasetKind;
+use hec_bench::{univariate_config, Profile};
 
 fn tiny_univariate(seed: u64) -> ExperimentConfig {
-    ExperimentConfig {
-        dataset: DatasetConfig::Univariate(PowerConfig {
-            days: 150,
-            samples_per_day: 24,
-            anomaly_rate: 0.15,
-            noise_std: 0.015,
-            seed,
-        }),
-        ad_epochs: 80,
-        policy: TrainConfig { epochs: 25, learning_rate: 2e-3, ..Default::default() },
-        seq2seq_hidden: 8,
-        policy_hidden: 32,
-        seed,
+    let profile = Profile::from_env_or(Profile::Quick);
+    let mut config = univariate_config(profile);
+    config.seed = seed;
+    if let DatasetConfig::Univariate(ref mut power) = config.dataset {
+        power.seed = seed;
+        if profile == Profile::Quick {
+            // Lower noise than the bench profile: these tests assert relative
+            // orderings (per-layer accuracy, adaptive vs fixed) that need a
+            // cleaner signal at quick scale than the profile's smoke runs do.
+            power.noise_std = 0.015;
+        }
     }
+    config
 }
 
 #[test]
@@ -55,11 +57,8 @@ fn univariate_report_has_paper_shape() {
 #[test]
 fn adaptive_reward_is_best_or_near_best() {
     let report = Experiment::run(tiny_univariate(11));
-    let rewards: Vec<(SchemeKind, f64)> = report
-        .table2
-        .iter()
-        .filter_map(|r| r.reward.map(|v| (r.scheme, v)))
-        .collect();
+    let rewards: Vec<(SchemeKind, f64)> =
+        report.table2.iter().filter_map(|r| r.reward.map(|v| (r.scheme, v))).collect();
     let adaptive = rewards.iter().find(|(k, _)| *k == SchemeKind::Adaptive).unwrap().1;
     let best = rewards.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
     // The bandit trains on a small corpus at test scale; allow a small slack
@@ -96,10 +95,15 @@ fn deterministic_given_seed() {
 
 #[test]
 fn stage_api_exposes_split_sizes() {
-    let mut exp = Experiment::prepare(tiny_univariate(1));
+    let config = tiny_univariate(1);
+    let days = match &config.dataset {
+        DatasetConfig::Univariate(power) => power.days,
+        other => panic!("expected univariate dataset, got {other:?}"),
+    };
+    let mut exp = Experiment::prepare(config);
     let (train, test, policy, full) = exp.split.sizes();
     assert!(train > 0 && test > 0 && policy > 0);
-    assert_eq!(full, 150);
+    assert_eq!(full, days);
     // The paper's protocol: training normals ≈ 70% of all normals.
     let normals = exp.split.full.iter().filter(|w| !w.anomalous).count();
     let frac = train as f64 / normals as f64;

@@ -1,0 +1,25 @@
+//! Offline marker-trait subset of the `serde` API.
+//!
+//! Nothing in this workspace serializes at runtime yet — the derives are
+//! declared on config/report structs so downstream consumers *can* once a
+//! real serializer is wired in. Until the build environment can reach
+//! crates.io, [`Serialize`] and [`Deserialize`] are marker traits
+//! blanket-implemented for every type, and the re-exported derives expand
+//! to nothing. Swapping the path dependency for real `serde` is a
+//! manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

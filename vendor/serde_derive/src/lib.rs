@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The vendored [`serde`] stub gives every type a blanket impl of its
+//! marker traits, so the derives here only need to exist (and accept the
+//! `#[serde(...)]` helper attribute) — they emit no code. This keeps the
+//! 37 derive sites across the workspace compiling without network access
+//! to the real `serde`; swap the path dependency for crates.io `serde`
+//! to restore real serialization.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
