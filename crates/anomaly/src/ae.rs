@@ -203,6 +203,20 @@ impl AutoencoderDetector {
         self.architecture.layer_sizes[0]
     }
 
+    /// Scores per-point reconstruction errors through the calibrated scorer.
+    fn detection_from_errors(&self, errors: &[Vec<f32>]) -> Detection {
+        let scorer = self.scorer.as_ref().expect("detect called before fit");
+        let (min_log_pd, anomalous_fraction) = scorer.score_window(errors);
+        let anomalous = anomalous_fraction > self.flag_fraction;
+        let confident = self.confidence.is_confident(
+            min_log_pd,
+            anomalous_fraction,
+            scorer.threshold(),
+            anomalous,
+        );
+        Detection { anomalous, confident, min_log_pd, anomalous_fraction }
+    }
+
     /// Per-point reconstruction errors for one window.
     fn reconstruction_errors(&mut self, window: &LabeledWindow) -> Vec<Vec<f32>> {
         let flat = window.flattened();
@@ -290,16 +304,39 @@ impl AnomalyDetector for AutoencoderDetector {
 
     fn detect(&mut self, window: &LabeledWindow) -> Detection {
         let errors = self.reconstruction_errors(window);
-        let scorer = self.scorer.as_ref().expect("detect called before fit");
-        let (min_log_pd, anomalous_fraction) = scorer.score_window(&errors);
-        let anomalous = anomalous_fraction > self.flag_fraction;
-        let confident = self.confidence.is_confident(
-            min_log_pd,
-            anomalous_fraction,
-            scorer.threshold(),
-            anomalous,
-        );
-        Detection { anomalous, confident, min_log_pd, anomalous_fraction }
+        self.detection_from_errors(&errors)
+    }
+
+    /// Batched scoring: the whole corpus becomes one `windows × input` matrix
+    /// and runs through a single forward pass per layer, so the dense kernels
+    /// see real batch dimensions instead of `1 × input` row vectors. Row
+    /// independence of the dense ops makes the results identical to the
+    /// per-window path.
+    fn detect_batch(&mut self, windows: &[LabeledWindow]) -> Vec<Detection> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.input_dim();
+        let mut data = Vec::with_capacity(windows.len() * dim);
+        for (i, w) in windows.iter().enumerate() {
+            let flat = w.flattened();
+            assert_eq!(
+                flat.len(),
+                dim,
+                "window {i} length {} does not match model input {dim}",
+                flat.len()
+            );
+            data.extend_from_slice(&flat);
+        }
+        let x = Matrix::from_vec(windows.len(), dim, data);
+        let y = self.net.predict(&x);
+        (0..windows.len())
+            .map(|r| {
+                let errors: Vec<Vec<f32>> =
+                    x.row(r).iter().zip(y.row(r).iter()).map(|(a, b)| vec![a - b]).collect();
+                self.detection_from_errors(&errors)
+            })
+            .collect()
     }
 
     fn threshold(&self) -> Option<f32> {
@@ -392,6 +429,21 @@ mod tests {
             r_iot.final_loss,
             r_cloud.final_loss
         );
+    }
+
+    #[test]
+    fn detect_batch_matches_per_window() {
+        let mut det = AutoencoderDetector::new("ae", AeArchitecture::cloud(16), 1);
+        det.fit(&train_set(16), 80).unwrap();
+        let windows = vec![
+            ramp_window(0.001, 16),
+            LabeledWindow::new(Matrix::from_vec(16, 1, vec![0.5; 16]), true),
+            ramp_window(0.004, 16),
+        ];
+        let batched = det.detect_batch(&windows);
+        let single: Vec<Detection> = windows.iter().map(|w| det.detect(w)).collect();
+        assert_eq!(batched, single);
+        assert!(det.detect_batch(&[]).is_empty());
     }
 
     #[test]

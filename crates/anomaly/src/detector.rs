@@ -98,6 +98,23 @@ pub trait AnomalyDetector {
     /// [`fit`]: AnomalyDetector::fit
     fn detect(&mut self, window: &LabeledWindow) -> Detection;
 
+    /// Scores a whole corpus of windows, in order.
+    ///
+    /// The default is a per-window loop (which already reuses the model's
+    /// scratch workspaces); implementations override it to batch the model
+    /// forward passes — [`crate::AutoencoderDetector`] stacks the corpus
+    /// into one matrix and runs a single batched forward per layer. Results
+    /// are guaranteed identical to calling [`detect`] per window.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`detect`].
+    ///
+    /// [`detect`]: AnomalyDetector::detect
+    fn detect_batch(&mut self, windows: &[LabeledWindow]) -> Vec<Detection> {
+        windows.iter().map(|w| self.detect(w)).collect()
+    }
+
     /// Model-derived contextual features of a window for the policy network,
     /// if this model provides them (§III-B: the multivariate context is the
     /// LSTM-encoder state of the IoT-layer model). Returns `None` when the

@@ -299,10 +299,14 @@ impl AnomalyDetector for Seq2SeqDetector {
         // compensate for the reduced fidelity of the on-device encoder input
         // (see DESIGN.md §2).
         let mut ctx = self.encode_context(window);
+        let n = window.data.rows() as f32;
         for c in 0..window.channels() {
-            let col = window.data.col(c);
-            ctx.push(hec_tensor::vecops::mean(&col));
-            ctx.push(hec_tensor::vecops::std_dev(&col));
+            // Strided column iteration (no per-channel Vec); same summation
+            // order as `vecops::{mean, std_dev}` over a copied column.
+            let mean = window.data.col_iter(c).sum::<f32>() / n;
+            let var = window.data.col_iter(c).map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+            ctx.push(mean);
+            ctx.push(var.sqrt());
         }
         Some(ctx)
     }

@@ -93,6 +93,33 @@ impl PolicyNetwork {
         vecops::argmax(&self.probabilities(context))
     }
 
+    /// Greedy actions for a whole corpus in **one batched forward pass**:
+    /// the contexts are stacked into a `windows × input_dim` matrix so the
+    /// dense kernels see a real batch instead of per-window row vectors.
+    ///
+    /// Each row goes through the same softmax + argmax as
+    /// [`PolicyNetwork::greedy`] (not a raw-logit argmax — f32 softmax can
+    /// round two distinct logits to equal probabilities, which would flip
+    /// tie resolution), so the selected actions are identical to the
+    /// per-window path by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any context's length differs from `input_dim`.
+    pub fn greedy_batch(&mut self, contexts: &[Vec<f32>]) -> Vec<usize> {
+        if contexts.is_empty() {
+            return Vec::new();
+        }
+        let mut data = Vec::with_capacity(contexts.len() * self.input_dim);
+        for (i, ctx) in contexts.iter().enumerate() {
+            assert_eq!(ctx.len(), self.input_dim, "context {i} dimension mismatch");
+            data.extend_from_slice(ctx);
+        }
+        let x = Matrix::from_vec(contexts.len(), self.input_dim, data);
+        let logits = self.net.predict(&x);
+        logits.iter_rows().map(|row| vecops::argmax(&vecops::softmax(row))).collect()
+    }
+
     /// One REINFORCE update minimising `−advantage · log π_θ(action | ctx)`:
     /// backpropagates `advantage · (π − e_action)` through the network and
     /// applies the optimizer.
@@ -200,6 +227,18 @@ mod tests {
         }
         assert_eq!(p.greedy(&ctx_a), 0);
         assert_eq!(p.greedy(&ctx_b), 2);
+    }
+
+    #[test]
+    fn greedy_batch_matches_greedy() {
+        let mut p = PolicyNetwork::new(3, 16, 3, 9);
+        let contexts: Vec<Vec<f32>> = (0..17)
+            .map(|i| vec![(i as f32 * 0.37).sin(), (i as f32 * 0.11).cos(), i as f32 / 17.0])
+            .collect();
+        let batched = p.greedy_batch(&contexts);
+        let single: Vec<usize> = contexts.iter().map(|c| p.greedy(c)).collect();
+        assert_eq!(batched, single);
+        assert!(p.greedy_batch(&[]).is_empty());
     }
 
     #[test]

@@ -17,9 +17,24 @@ fn bench_matmul(c: &mut Criterion) {
         bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
     });
 
+    // The allocation-free hot path: same product into a reused buffer.
+    let mut out = Matrix::zeros(96, 96);
+    c.bench_function("matmul_into_96x64x96", |bch| {
+        bch.iter(|| {
+            black_box(&a).matmul_into(black_box(&b), &mut out);
+            black_box(&out);
+        })
+    });
+
     let at = hec_tensor::init::uniform(&mut rng, 64, 96, -1.0, 1.0);
     c.bench_function("t_matmul_96x64x96", |bch| {
         bch.iter(|| black_box(black_box(&at).t_matmul(black_box(&b))))
+    });
+
+    // A·Bᵀ through the packed transposed-B kernel path.
+    let bt = hec_tensor::init::uniform(&mut rng, 96, 64, -1.0, 1.0);
+    c.bench_function("matmul_t_96x64x96", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul_t(black_box(&bt))))
     });
 }
 
@@ -32,10 +47,36 @@ fn bench_lstm_step(c: &mut Criterion) {
         b.iter(|| black_box(lstm.step(black_box(&x), black_box(&state), false)))
     });
 
+    // Fully allocation-free inference step into a reused state, with a
+    // realistic (non-zero) recurrent state.
+    let warm = LstmState {
+        h: hec_tensor::init::uniform(&mut rng, 1, 64, -1.0, 1.0),
+        c: hec_tensor::init::uniform(&mut rng, 1, 64, -1.0, 1.0),
+    };
+    let mut next = LstmState::zeros(1, 64);
+    c.bench_function("lstm_step_into_18_to_64", |b| {
+        b.iter(|| {
+            lstm.step_into(black_box(&x), black_box(&warm), &mut next);
+            black_box(&next);
+        })
+    });
+
     let xs: Vec<Matrix> =
         (0..128).map(|_| hec_tensor::init::uniform(&mut rng, 1, 18, -1.0, 1.0)).collect();
     c.bench_function("lstm_forward_seq_128x18_to_64", |b| {
         b.iter(|| black_box(lstm.forward_seq(black_box(&xs), false)))
+    });
+
+    // One full BPTT training step (forward with caches + backward).
+    let seq: Vec<Matrix> =
+        (0..16).map(|_| hec_tensor::init::uniform(&mut rng, 1, 18, -1.0, 1.0)).collect();
+    c.bench_function("lstm_train_step_16x18_to_64", |b| {
+        b.iter(|| {
+            let states = lstm.forward_seq(black_box(&seq), true);
+            let dhs: Vec<Matrix> =
+                states.iter().map(|s| Matrix::ones(s.h.rows(), s.h.cols())).collect();
+            black_box(lstm.backward_seq(&dhs, None))
+        })
     });
 }
 

@@ -16,6 +16,7 @@ use hec_data::BinaryConfusion;
 use hec_sim::HecTopology;
 
 use crate::oracle::Oracle;
+use crate::parallel::parallel_map;
 use crate::scheme::{SchemeEvaluator, SchemeKind};
 
 /// One point of the α-sensitivity sweep (cost-parameter frontier).
@@ -35,6 +36,10 @@ pub struct AlphaSweepRow {
 
 /// Sweeps α: larger α penalises delay harder, pushing the learned policy
 /// toward lower layers — the accuracy/delay frontier of Eq. 1.
+///
+/// Each α trains and evaluates its own policy, so the sweep points run in
+/// parallel on scoped threads (`HEC_THREADS` workers); row order follows
+/// `alphas` regardless of thread count.
 pub fn alpha_sweep(
     train_oracle: &Oracle,
     eval_oracle: &Oracle,
@@ -49,31 +54,28 @@ pub fn alpha_sweep(
     let scaled = scaler.transform_all(&contexts);
     let input_dim = scaled[0].len();
 
-    alphas
-        .iter()
-        .map(|&alpha| {
-            let reward = RewardModel::new(alpha);
-            let policy = PolicyNetwork::new(input_dim, policy_hidden, 3, train.seed);
-            let mut trainer = PolicyTrainer::new(policy, train);
-            let mut reward_of = |i: usize, a: usize| -> f32 {
-                reward.reward(train_oracle.correct(i, a), topology.end_to_end_ms(a, payload_bytes))
-                    as f32
-            };
-            trainer.train(&scaled, &mut reward_of);
-            let mut policy = trainer.into_policy();
+    parallel_map(alphas, |_, &alpha| {
+        let reward = RewardModel::new(alpha);
+        let policy = PolicyNetwork::new(input_dim, policy_hidden, 3, train.seed);
+        let mut trainer = PolicyTrainer::new(policy, train);
+        let mut reward_of = |i: usize, a: usize| -> f32 {
+            reward.reward(train_oracle.correct(i, a), topology.end_to_end_ms(a, payload_bytes))
+                as f32
+        };
+        trainer.train(&scaled, &mut reward_of);
+        let mut policy = trainer.into_policy();
 
-            let ev = SchemeEvaluator::new(topology, payload_bytes, reward);
-            let result =
-                ev.evaluate(SchemeKind::Adaptive, eval_oracle, Some(&mut policy), Some(&scaler));
-            AlphaSweepRow {
-                alpha,
-                accuracy_pct: result.confusion.accuracy() * 100.0,
-                mean_delay_ms: result.mean_delay_ms,
-                reward: result.reward_x100.expect("adaptive always has a reward"),
-                local_fraction: result.action_histogram[0] as f64 / eval_oracle.len().max(1) as f64,
-            }
-        })
-        .collect()
+        let ev = SchemeEvaluator::new(topology, payload_bytes, reward);
+        let result =
+            ev.evaluate(SchemeKind::Adaptive, eval_oracle, Some(&mut policy), Some(&scaler));
+        AlphaSweepRow {
+            alpha,
+            accuracy_pct: result.confusion.accuracy() * 100.0,
+            mean_delay_ms: result.mean_delay_ms,
+            reward: result.reward_x100.expect("adaptive always has a reward"),
+            local_fraction: result.action_histogram[0] as f64 / eval_oracle.len().max(1) as f64,
+        }
+    })
 }
 
 /// Learning curves with and without the reinforcement-comparison baseline
@@ -130,6 +132,10 @@ pub struct SolverRow {
 
 /// Compares the paper's policy-gradient solver with ε-greedy and LinUCB on
 /// identical contexts and rewards.
+///
+/// The three solvers are independent given the frozen oracle, so they train
+/// on separate scoped threads (`HEC_THREADS` workers); row order is fixed
+/// (ε-greedy, LinUCB, policy-gradient) regardless of thread count.
 pub fn solver_comparison(
     oracle: &Oracle,
     topology: &HecTopology,
@@ -147,12 +153,8 @@ pub fn solver_comparison(
         reward.reward(oracle.correct(i, a), topology.end_to_end_ms(a, payload_bytes)) as f32
     };
 
-    let mut rows = Vec::new();
-
-    // Classic solvers behind the common trait.
-    let mut classic: Vec<Box<dyn BanditSolver>> =
-        vec![Box::new(EpsilonGreedy::new(3, 0.1)), Box::new(LinUcb::new(3, input_dim, 0.5))];
-    for solver in classic.iter_mut() {
+    // Classic solvers behind the common trait (each worker builds its own).
+    let run_classic = |mut solver: Box<dyn BanditSolver>| -> SolverRow {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut total = 0.0f64;
         let mut pulls = 0usize;
@@ -174,38 +176,44 @@ pub fn solver_comparison(
             confusion.record(oracle.verdict(i, arm), oracle.outcomes[i].truth);
             delay += topology.end_to_end_ms(arm, payload_bytes);
         }
-        rows.push(SolverRow {
+        SolverRow {
             solver: solver.name().to_owned(),
             mean_reward: total / pulls.max(1) as f64,
             final_accuracy_pct: confusion.accuracy() * 100.0,
             final_delay_ms: delay / scaled.len().max(1) as f64,
-        });
-    }
+        }
+    };
 
     // The paper's policy-gradient solver.
-    let policy = PolicyNetwork::new(input_dim, 100, 3, seed);
-    let mut trainer =
-        PolicyTrainer::new(policy, TrainConfig { epochs, seed, ..Default::default() });
-    let mut oracle_reward = |i: usize, a: usize| reward_of(i, a);
-    let curve = trainer.train(&scaled, &mut oracle_reward);
-    let mut policy = trainer.into_policy();
-    let mut confusion = BinaryConfusion::new();
-    let mut delay = 0.0f64;
-    for (i, ctx) in scaled.iter().enumerate() {
-        let arm = policy.greedy(ctx);
-        confusion.record(oracle.verdict(i, arm), oracle.outcomes[i].truth);
-        delay += topology.end_to_end_ms(arm, payload_bytes);
-    }
-    let mean_reward = curve.mean_reward_per_epoch.iter().map(|&x| x as f64).sum::<f64>()
-        / curve.mean_reward_per_epoch.len().max(1) as f64;
-    rows.push(SolverRow {
-        solver: "policy-gradient".to_owned(),
-        mean_reward,
-        final_accuracy_pct: confusion.accuracy() * 100.0,
-        final_delay_ms: delay / scaled.len().max(1) as f64,
-    });
+    let run_policy_gradient = || -> SolverRow {
+        let policy = PolicyNetwork::new(input_dim, 100, 3, seed);
+        let mut trainer =
+            PolicyTrainer::new(policy, TrainConfig { epochs, seed, ..Default::default() });
+        let mut oracle_reward = |i: usize, a: usize| reward_of(i, a);
+        let curve = trainer.train(&scaled, &mut oracle_reward);
+        let mut policy = trainer.into_policy();
+        let mut confusion = BinaryConfusion::new();
+        let mut delay = 0.0f64;
+        for (i, ctx) in scaled.iter().enumerate() {
+            let arm = policy.greedy(ctx);
+            confusion.record(oracle.verdict(i, arm), oracle.outcomes[i].truth);
+            delay += topology.end_to_end_ms(arm, payload_bytes);
+        }
+        let mean_reward = curve.mean_reward_per_epoch.iter().map(|&x| x as f64).sum::<f64>()
+            / curve.mean_reward_per_epoch.len().max(1) as f64;
+        SolverRow {
+            solver: "policy-gradient".to_owned(),
+            mean_reward,
+            final_accuracy_pct: confusion.accuracy() * 100.0,
+            final_delay_ms: delay / scaled.len().max(1) as f64,
+        }
+    };
 
-    rows
+    parallel_map(&[0usize, 1, 2], |_, &task| match task {
+        0 => run_classic(Box::new(EpsilonGreedy::new(3, 0.1))),
+        1 => run_classic(Box::new(LinUcb::new(3, input_dim, 0.5))),
+        _ => run_policy_gradient(),
+    })
 }
 
 /// One point of the confidence-rule sweep for the Successive scheme.
@@ -227,6 +235,10 @@ pub struct ConfidenceRow {
 
 /// Sweeps the paper's confident-detection rule (2×, 5 %) over a grid and
 /// reports the Successive scheme's operating points.
+///
+/// Grid points are independent (each re-derives verdicts on its own oracle
+/// clone), so they run in parallel on scoped threads (`HEC_THREADS`
+/// workers); row order follows the `factors × fractions` grid.
 pub fn confidence_sweep(
     oracle: &Oracle,
     topology: &HecTopology,
@@ -237,23 +249,23 @@ pub fn confidence_sweep(
 ) -> Vec<ConfidenceRow> {
     let reward = RewardModel::new(alpha);
     let ev = SchemeEvaluator::new(topology, payload_bytes, reward);
-    let mut rows = Vec::new();
-    for &factor in factors {
-        for &fraction in fractions {
-            let mut o = oracle.clone();
-            o.confidence = ConfidenceRule { factor, fraction };
-            let result = ev.evaluate(SchemeKind::Successive, &o, None, None);
-            rows.push(ConfidenceRow {
-                factor,
-                fraction,
-                accuracy_pct: result.confusion.accuracy() * 100.0,
-                f1: result.confusion.f1(),
-                mean_delay_ms: result.mean_delay_ms,
-                local_fraction: result.action_histogram[0] as f64 / o.len().max(1) as f64,
-            });
+    let grid: Vec<(f32, f32)> = factors
+        .iter()
+        .flat_map(|&factor| fractions.iter().map(move |&fraction| (factor, fraction)))
+        .collect();
+    parallel_map(&grid, |_, &(factor, fraction)| {
+        let mut o = oracle.clone();
+        o.confidence = ConfidenceRule { factor, fraction };
+        let result = ev.evaluate(SchemeKind::Successive, &o, None, None);
+        ConfidenceRow {
+            factor,
+            fraction,
+            accuracy_pct: result.confusion.accuracy() * 100.0,
+            f1: result.confusion.f1(),
+            mean_delay_ms: result.mean_delay_ms,
+            local_fraction: result.action_histogram[0] as f64 / o.len().max(1) as f64,
         }
-    }
-    rows
+    })
 }
 
 #[cfg(test)]
@@ -338,6 +350,23 @@ mod tests {
             assert!((0.0..=100.0).contains(&r.final_accuracy_pct), "{r:?}");
             assert!(r.final_delay_ms > 0.0);
         }
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial() {
+        let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
+        let o = oracle(90);
+        let run = |threads: usize| {
+            crate::parallel::with_thread_count(threads, || {
+                let conf =
+                    confidence_sweep(&o, &topo, 384, 0.0005, &[1.5, 2.0, 2.5], &[0.02, 0.05]);
+                let solvers = solver_comparison(&o, &topo, 384, 0.0005, 6, 3);
+                (conf, solvers)
+            })
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -209,8 +209,7 @@ impl Experiment {
         let mut rows = Vec::with_capacity(3);
         for (layer, det) in self.catalog.detectors_mut().iter_mut().enumerate() {
             let mut confusion = BinaryConfusion::new();
-            for w in test {
-                let d = det.detect(w);
+            for (d, w) in det.detect_batch(test).into_iter().zip(test.iter()) {
                 confusion.record(d.anomalous, w.anomalous);
             }
             rows.push(Table1Row {

@@ -17,7 +17,10 @@
 //!   harness;
 //! * [`stream`] — the demo result panel's streaming series (Fig. 3b);
 //! * [`ablation`] — α sweeps, baseline ablation, bandit-solver comparison
-//!   and confidence-rule sweeps (DESIGN.md §5).
+//!   and confidence-rule sweeps (DESIGN.md §5);
+//! * [`parallel`] — scoped-thread helpers (`HEC_THREADS` override) behind
+//!   the parallel scheme evaluation and sweeps, with deterministic result
+//!   ordering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@
 pub mod ablation;
 pub mod experiment;
 pub mod oracle;
+pub mod parallel;
 pub mod report;
 pub mod scheme;
 pub mod stream;

@@ -54,12 +54,12 @@ impl Oracle {
         for (layer, det) in catalog.detectors_mut().iter_mut().enumerate() {
             thresholds[layer] =
                 det.threshold().expect("detector must be fitted before precomputing outcomes");
-            let scores = windows
-                .iter()
-                .map(|w| {
-                    let d = det.detect(w);
-                    (d.min_log_pd, d.anomalous_fraction)
-                })
+            // Batched scoring: one forward pass over the whole corpus where
+            // the detector supports it (identical results to per-window).
+            let scores = det
+                .detect_batch(windows)
+                .into_iter()
+                .map(|d| (d.min_log_pd, d.anomalous_fraction))
                 .collect();
             per_layer.push(scores);
         }

@@ -13,6 +13,12 @@ use hec_data::BinaryConfusion;
 use hec_sim::HecTopology;
 
 use crate::oracle::Oracle;
+use crate::parallel::parallel_map_range_grained;
+
+/// Minimum windows per worker when parallelising [`SchemeEvaluator::
+/// evaluate`]: the per-window work is table lookups, so a thread must own
+/// at least this many windows to amortise its spawn cost.
+const WINDOWS_PER_WORKER: usize = 256;
 
 /// A model-selection scheme under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -136,6 +142,12 @@ impl<'a> SchemeEvaluator<'a> {
     ///
     /// `policy`/`scaler` are required only for [`SchemeKind::Adaptive`].
     ///
+    /// Per-window outcomes are computed in parallel with scoped threads
+    /// (worker count from `HEC_THREADS`, see [`crate::parallel`]); for the
+    /// Adaptive scheme the policy's greedy actions are precomputed first in
+    /// one batched forward pass. Aggregation runs serially in corpus order,
+    /// so results are identical to a fully serial evaluation.
+    ///
     /// # Panics
     ///
     /// Panics if `Adaptive` is requested without a policy and scaler.
@@ -146,23 +158,36 @@ impl<'a> SchemeEvaluator<'a> {
         mut policy: Option<&mut PolicyNetwork>,
         scaler: Option<&ContextScaler>,
     ) -> SchemeResult {
-        let mut confusion = BinaryConfusion::new();
-        let mut total_delay = 0.0f64;
-        let mut histogram = [0usize; 3];
-        let mut reward_terms: Vec<(bool, f64)> = Vec::with_capacity(oracle.len());
+        let adaptive_layers: Option<Vec<usize>> = match kind {
+            SchemeKind::Adaptive => {
+                let p = policy.take().expect("Adaptive needs a trained policy");
+                let s = scaler.expect("Adaptive needs a context scaler");
+                // Transform straight from the stored outcomes — no
+                // intermediate clone of every context Vec.
+                let scaled: Vec<Vec<f32>> =
+                    oracle.outcomes.iter().map(|o| s.transform(&o.context)).collect();
+                Some(p.greedy_batch(&scaled))
+            }
+            _ => None,
+        };
 
-        for i in 0..oracle.len() {
-            let outcome = match kind {
+        let outcomes =
+            parallel_map_range_grained(oracle.len(), WINDOWS_PER_WORKER, |i| match kind {
                 SchemeKind::IoTDevice => self.fixed(oracle, i, 0),
                 SchemeKind::Edge => self.fixed(oracle, i, 1),
                 SchemeKind::Cloud => self.fixed(oracle, i, 2),
                 SchemeKind::Successive => self.successive(oracle, i),
                 SchemeKind::Adaptive => {
-                    let p = policy.as_deref_mut().expect("Adaptive needs a trained policy");
-                    let s = scaler.expect("Adaptive needs a context scaler");
-                    self.adaptive(oracle, i, p, s)
+                    let layers = adaptive_layers.as_ref().expect("precomputed above");
+                    self.fixed(oracle, i, layers[i])
                 }
-            };
+            });
+
+        let mut confusion = BinaryConfusion::new();
+        let mut total_delay = 0.0f64;
+        let mut histogram = [0usize; 3];
+        let mut reward_terms: Vec<(bool, f64)> = Vec::with_capacity(oracle.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
             let truth = oracle.outcomes[i].truth;
             confusion.record(outcome.verdict, truth);
             total_delay += outcome.delay_ms;
@@ -301,6 +326,50 @@ mod tests {
         );
         // And its delay sits below always-Cloud.
         assert!(adaptive.mean_delay_ms < cloud.mean_delay_ms);
+    }
+
+    /// The scoped-thread evaluation must be bit-identical to the serial
+    /// path for every scheme, whatever the worker count.
+    #[test]
+    fn parallel_evaluate_matches_serial() {
+        let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
+        // 1031 windows: enough to clear the per-worker grain so the run
+        // really fans out, and not a multiple of any thread count, so
+        // chunk edges are exercised.
+        let oracle = synthetic_oracle(1031);
+        let ev = evaluator(&topo);
+
+        let contexts = oracle.contexts();
+        let scaler = ContextScaler::fit(&contexts);
+        let scaled = scaler.transform_all(&contexts);
+        let reward = RewardModel::new(0.0005);
+        let mut trainer = hec_bandit::PolicyTrainer::new(
+            PolicyNetwork::new(2, 16, 3, 4),
+            hec_bandit::TrainConfig { epochs: 8, ..Default::default() },
+        );
+        let mut reward_of = |i: usize, a: usize| -> f32 {
+            reward.reward(oracle.correct(i, a), topo.end_to_end_ms(a, 384)) as f32
+        };
+        trainer.train(&scaled, &mut reward_of);
+        let mut policy = trainer.into_policy();
+
+        let mut run = |threads: usize| -> Vec<SchemeResult> {
+            crate::parallel::with_thread_count(threads, || {
+                SchemeKind::ALL
+                    .iter()
+                    .map(|&kind| match kind {
+                        SchemeKind::Adaptive => {
+                            ev.evaluate(kind, &oracle, Some(&mut policy), Some(&scaler))
+                        }
+                        _ => ev.evaluate(kind, &oracle, None, None),
+                    })
+                    .collect()
+            })
+        };
+
+        let serial = run(1);
+        let parallel = run(3);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

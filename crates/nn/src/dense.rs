@@ -6,6 +6,7 @@ use hec_tensor::{init, Matrix};
 
 use crate::activation::Activation;
 use crate::sequential::Layer;
+use crate::workspace::Buf;
 
 /// A fully-connected layer `y = f(x·W + b)`.
 ///
@@ -34,6 +35,20 @@ pub struct Dense {
     grad_bias: Matrix,
     cached_input: Option<Matrix>,
     cached_output: Option<Matrix>,
+    scratch: DenseScratch,
+}
+
+/// Reusable buffers so forward/backward perform no matmul allocations.
+#[derive(Default)]
+struct DenseScratch {
+    /// Pre-activation `x·W + b`.
+    z: Buf,
+    /// Backward `δ = ∂L/∂z`.
+    delta: Buf,
+    /// Staging for the weight-gradient product before accumulation.
+    gw: Buf,
+    /// Staging for the bias-gradient row before accumulation.
+    gb: Buf,
 }
 
 impl Dense {
@@ -70,6 +85,7 @@ impl Dense {
             activation,
             cached_input: None,
             cached_output: None,
+            scratch: DenseScratch::default(),
         }
     }
 
@@ -100,14 +116,25 @@ impl Dense {
 
     /// Computes the pre-activation `x·W + b` without caching (inference helper).
     pub fn affine(&self, input: &Matrix) -> Matrix {
-        input.matmul(&self.weight).add_row_broadcast(&self.bias)
+        let mut out = Matrix::zeros(input.rows(), self.weight.cols());
+        self.affine_into(input, &mut out);
+        out
+    }
+
+    /// Computes the pre-activation `x·W + b` into a caller-owned buffer
+    /// (resized in place) — the allocation-free inference path.
+    pub fn affine_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weight, out);
+        out.add_row_broadcast_assign(&self.bias);
     }
 }
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
-        let z = self.affine(input);
-        let y = self.activation.apply(&z);
+        let z = self.scratch.z.shaped(input.rows(), self.weight.cols());
+        input.matmul_into(&self.weight, z);
+        z.add_row_broadcast_assign(&self.bias);
+        let y = self.activation.apply(z);
         if training {
             self.cached_input = Some(input.clone());
             self.cached_output = Some(y.clone());
@@ -120,12 +147,20 @@ impl Layer for Dense {
             self.cached_input.take().expect("Dense::backward called without training-mode forward");
         let output = self.cached_output.take().expect("missing cached output");
         // δ = ∂L/∂z = ∂L/∂y ⊙ f'(z), with f' expressed from the output.
-        let delta = grad_output.hadamard(&self.activation.derivative_from_output(&output));
-        // Accumulate parameter gradients.
-        self.grad_weight += &input.t_matmul(&delta);
-        self.grad_bias += &delta.sum_rows();
+        let delta = self.scratch.delta.shaped(grad_output.rows(), grad_output.cols());
+        grad_output.hadamard_into(&self.activation.derivative_from_output(&output), delta);
+        // Accumulate parameter gradients (staged through scratch so the
+        // products never allocate).
+        let gw = self.scratch.gw.shaped(self.weight.rows(), self.weight.cols());
+        input.t_matmul_into(delta, gw);
+        self.grad_weight += &*gw;
+        let gb = self.scratch.gb.shaped(1, self.bias.cols());
+        delta.sum_rows_into(gb);
+        self.grad_bias += &*gb;
         // ∂L/∂x = δ · Wᵀ
-        delta.matmul_t(&self.weight)
+        let mut dx = Matrix::zeros(input.rows(), self.weight.rows());
+        delta.matmul_t_into(&self.weight, &mut dx);
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

@@ -16,6 +16,12 @@
 //! Backpropagation (including BPTT through the LSTMs) is implemented manually
 //! and validated against finite differences in the test suite.
 //!
+//! Every model owns a preallocated scratch workspace (see [`workspace`]) and
+//! routes its matrix products through `hec-tensor`'s `_into` kernels, so
+//! steady-state forward and training steps allocate no matmul temporaries
+//! (every product lands in a reused buffer or a caller-visible output), and
+//! the inference [`Lstm::step_into`] performs zero heap allocations.
+//!
 //! # Example
 //!
 //! ```rust
@@ -50,6 +56,7 @@ pub mod lstm;
 pub mod optim;
 pub mod seq2seq;
 pub mod sequential;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use dense::Dense;
@@ -59,3 +66,4 @@ pub use lstm::{Lstm, LstmState};
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
 pub use seq2seq::{Seq2Seq, Seq2SeqConfig};
 pub use sequential::{Layer, Sequential};
+pub use workspace::Buf;

@@ -18,6 +18,7 @@ use rand::Rng;
 use hec_tensor::{init, Matrix};
 
 use crate::activation::sigmoid;
+use crate::workspace::Buf;
 
 /// The recurrent state `(h, c)` of an [`Lstm`].
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +44,20 @@ impl LstmState {
     pub fn concat(&self, other: &LstmState) -> LstmState {
         LstmState { h: self.h.hconcat(&other.h), c: self.c.hconcat(&other.c) }
     }
+}
+
+/// Extracts a gate's column block from the packed pre-activation and applies
+/// its nonlinearity, in one pass (one allocation — the gate matrix itself,
+/// which BPTT keeps as cache).
+fn gate_block(z: &Matrix, start: usize, width: usize, f: impl Fn(f32) -> f32) -> Matrix {
+    let mut out = Matrix::zeros(z.rows(), width);
+    for r in 0..z.rows() {
+        let src = &z.row(r)[start..start + width];
+        for (d, &s) in out.row_mut(r).iter_mut().zip(src.iter()) {
+            *d = f(s);
+        }
+    }
+    out
 }
 
 /// Per-step cache for BPTT.
@@ -86,6 +101,32 @@ pub struct Lstm {
     input_dim: usize,
     hidden: usize,
     caches: Vec<StepCache>,
+    scratch: LstmScratch,
+}
+
+/// Reusable buffers so forward steps and BPTT perform no matmul allocations.
+#[derive(Default)]
+struct LstmScratch {
+    /// Pre-activation `x·Wx` (then summed with `zh` and the bias).
+    z: Buf,
+    /// Recurrent pre-activation `h·Wh`.
+    zh: Buf,
+    /// BPTT: gradient on `h_t` (injected + recurrent).
+    dh: Buf,
+    /// BPTT: gradient on `c_t`.
+    dc: Buf,
+    /// BPTT: gate pre-activation gradients, `batch × 4H`.
+    dz: Buf,
+    /// BPTT: recurrent hidden gradient flowing to step `t−1`.
+    dh_next: Buf,
+    /// BPTT: recurrent cell gradient flowing to step `t−1`.
+    dc_next: Buf,
+    /// Staging for the `Wx` gradient product before accumulation.
+    gwx: Buf,
+    /// Staging for the `Wh` gradient product before accumulation.
+    gwh: Buf,
+    /// Staging for the bias gradient row before accumulation.
+    gb: Buf,
 }
 
 impl Lstm {
@@ -112,6 +153,7 @@ impl Lstm {
             input_dim,
             hidden,
             caches: Vec::new(),
+            scratch: LstmScratch::default(),
         }
     }
 
@@ -142,43 +184,103 @@ impl Lstm {
     ///
     /// Panics if shapes disagree with the constructor dimensions.
     pub fn step(&mut self, x: &Matrix, state: &LstmState, training: bool) -> LstmState {
-        assert_eq!(x.cols(), self.input_dim, "lstm input width mismatch");
-        assert_eq!(state.h.cols(), self.hidden, "lstm state width mismatch");
-        assert_eq!(x.rows(), state.h.rows(), "lstm batch mismatch");
+        let batch = x.rows();
         let h = self.hidden;
+        self.compute_preactivation(x, state);
 
-        let mut z = x.matmul(&self.wx);
-        z += &state.h.matmul(&self.wh);
-        let z = z.add_row_broadcast(&self.b);
+        if !training {
+            let mut out = LstmState::zeros(batch, h);
+            self.gates_into(state, &mut out);
+            return out;
+        }
 
-        let zi = z.slice_cols(0, h);
-        let zf = z.slice_cols(h, 2 * h);
-        let zg = z.slice_cols(2 * h, 3 * h);
-        let zo = z.slice_cols(3 * h, 4 * h);
+        // Training keeps every gate as an owned matrix for BPTT, so these
+        // allocations are the step's cache, not temporaries.
+        let z = self.scratch.z.get();
+        let i = gate_block(z, 0, h, sigmoid);
+        let f = gate_block(z, h, h, sigmoid);
+        let g = gate_block(z, 2 * h, h, f32::tanh);
+        let o = gate_block(z, 3 * h, h, sigmoid);
 
-        let i = zi.map(sigmoid);
-        let f = zf.map(sigmoid);
-        let g = zg.map(f32::tanh);
-        let o = zo.map(sigmoid);
-
-        let c = &f.hadamard(&state.c) + &i.hadamard(&g);
+        let mut c = Matrix::zeros(batch, h);
+        for (((cv, &fv), (&cp, &iv)), &gv) in c
+            .as_mut_slice()
+            .iter_mut()
+            .zip(f.as_slice())
+            .zip(state.c.as_slice().iter().zip(i.as_slice()))
+            .zip(g.as_slice())
+        {
+            *cv = fv * cp + iv * gv;
+        }
         let tanh_c = c.map(f32::tanh);
         let h_new = o.hadamard(&tanh_c);
 
-        if training {
-            self.caches.push(StepCache {
-                x: x.clone(),
-                h_prev: state.h.clone(),
-                c_prev: state.c.clone(),
-                i,
-                f,
-                g,
-                o,
-                c: c.clone(),
-                tanh_c,
-            });
-        }
+        self.caches.push(StepCache {
+            x: x.clone(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            c: c.clone(),
+            tanh_c,
+        });
         LstmState { h: h_new, c }
+    }
+
+    /// Inference-only timestep writing into a caller-owned state — the fully
+    /// allocation-free path (no gate matrices, no cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the constructor dimensions.
+    pub fn step_into(&mut self, x: &Matrix, state: &LstmState, out: &mut LstmState) {
+        self.compute_preactivation(x, state);
+        self.gates_into(state, out);
+    }
+
+    /// `z = x·Wx + h·Wh + b` into the scratch buffer.
+    fn compute_preactivation(&mut self, x: &Matrix, state: &LstmState) {
+        assert_eq!(x.cols(), self.input_dim, "lstm input width mismatch");
+        assert_eq!(state.h.cols(), self.hidden, "lstm state width mismatch");
+        assert_eq!(x.rows(), state.h.rows(), "lstm batch mismatch");
+        let batch = x.rows();
+        let h4 = 4 * self.hidden;
+        let z = self.scratch.z.shaped(batch, h4);
+        x.matmul_into(&self.wx, z);
+        let zh = self.scratch.zh.shaped(batch, h4);
+        state.h.matmul_into(&self.wh, zh);
+        *z += &*zh;
+        z.add_row_broadcast_assign(&self.b);
+    }
+
+    /// Applies the gate nonlinearities to the scratch pre-activation and
+    /// writes the next `(h, c)` into `out`, fused and allocation-free.
+    fn gates_into(&mut self, state: &LstmState, out: &mut LstmState) {
+        let h = self.hidden;
+        let z = self.scratch.z.get();
+        let batch = z.rows();
+        out.h.resize(batch, h);
+        out.c.resize(batch, h);
+        for r in 0..batch {
+            let zrow = z.row(r);
+            let (zi, rest) = zrow.split_at(h);
+            let (zf, rest) = rest.split_at(h);
+            let (zg, zo) = rest.split_at(h);
+            let cp = state.c.row(r);
+            let h_row = out.h.row_mut(r);
+            let c_row = out.c.row_mut(r);
+            for (idx, (hv, cv)) in h_row.iter_mut().zip(c_row.iter_mut()).enumerate() {
+                let i_v = sigmoid(zi[idx]);
+                let f_v = sigmoid(zf[idx]);
+                let g_v = zg[idx].tanh();
+                let o_v = sigmoid(zo[idx]);
+                let c_v = f_v * cp[idx] + i_v * g_v;
+                *hv = o_v * c_v.tanh();
+                *cv = c_v;
+            }
+        }
     }
 
     /// Runs the whole sequence from a zero initial state, returning the state
@@ -246,47 +348,94 @@ impl Lstm {
         let t_len = self.caches.len();
         let batch = self.caches[0].x.rows();
         let h = self.hidden;
+        for (t, dh_t) in dh_each.iter().enumerate() {
+            assert_eq!(dh_t.shape(), (batch, h), "dh_each[{t}]: wrong gradient shape");
+        }
 
-        let mut dh_next = Matrix::zeros(batch, h);
-        let mut dc_next = Matrix::zeros(batch, h);
-        if let Some(df) = d_final {
-            dh_next += &df.h;
-            dc_next += &df.c;
+        let scratch = &mut self.scratch;
+        {
+            let dh_next = scratch.dh_next.zeroed(batch, h);
+            let dc_next = scratch.dc_next.zeroed(batch, h);
+            if let Some(df) = d_final {
+                *dh_next += &df.h;
+                *dc_next += &df.c;
+            }
         }
 
         let mut dxs = vec![Matrix::zeros(batch, self.input_dim); t_len];
         let caches: Vec<StepCache> = self.caches.drain(..).collect();
 
         for (t, cache) in caches.iter().enumerate().rev() {
-            let dh = &dh_each[t] + &dh_next;
+            // dh = dh_each[t] + dh_next; dc = dc_next + dh ⊙ o ⊙ (1 − tanh²c)
+            // — the contribution flowing through h_t = o ⊙ tanh(c_t). Fused
+            // into scratch, preserving the elementwise expression order of
+            // the former hadamard chains exactly.
+            {
+                let dh = scratch.dh.shaped(batch, h);
+                let dc = scratch.dc.shaped(batch, h);
+                let dh_next = scratch.dh_next.get();
+                let dc_next = scratch.dc_next.get();
+                for idx in 0..batch * h {
+                    let dh_v = dh_each[t].as_slice()[idx] + dh_next.as_slice()[idx];
+                    let tc = cache.tanh_c.as_slice()[idx];
+                    let o_v = cache.o.as_slice()[idx];
+                    dh.as_mut_slice()[idx] = dh_v;
+                    dc.as_mut_slice()[idx] =
+                        dc_next.as_slice()[idx] + (dh_v * o_v) * (1.0 - tc * tc);
+                }
+            }
 
-            // dc gets the contribution through h_t = o ⊙ tanh(c_t).
-            let one_minus_tc2 = cache.tanh_c.map(|v| 1.0 - v * v);
-            let mut dc = dc_next.clone();
-            dc += &dh.hadamard(&cache.o).hadamard(&one_minus_tc2);
+            // Gate pre-activation gradients, written straight into the
+            // packed `batch × 4H` layout (no per-gate temporaries).
+            {
+                let dz = scratch.dz.shaped(batch, 4 * h);
+                let dh = scratch.dh.get();
+                let dc = scratch.dc.get();
+                for r in 0..batch {
+                    let dz_row = dz.row_mut(r);
+                    let (dzi, rest) = dz_row.split_at_mut(h);
+                    let (dzf, rest) = rest.split_at_mut(h);
+                    let (dzg, dzo) = rest.split_at_mut(h);
+                    let (i_r, f_r) = (cache.i.row(r), cache.f.row(r));
+                    let (g_r, o_r) = (cache.g.row(r), cache.o.row(r));
+                    let (cp_r, tc_r) = (cache.c_prev.row(r), cache.tanh_c.row(r));
+                    let (dh_r, dc_r) = (dh.row(r), dc.row(r));
+                    for idx in 0..h {
+                        let (dcv, dhv) = (dc_r[idx], dh_r[idx]);
+                        let (iv, fv, gv, ov) = (i_r[idx], f_r[idx], g_r[idx], o_r[idx]);
+                        dzi[idx] = (dcv * gv) * (iv * (1.0 - iv));
+                        dzf[idx] = (dcv * cp_r[idx]) * (fv * (1.0 - fv));
+                        dzg[idx] = (dcv * iv) * (1.0 - gv * gv);
+                        dzo[idx] = (dhv * tc_r[idx]) * (ov * (1.0 - ov));
+                    }
+                }
+            }
 
-            let do_ = dh.hadamard(&cache.tanh_c);
-            let di = dc.hadamard(&cache.g);
-            let df = dc.hadamard(&cache.c_prev);
-            let dg = dc.hadamard(&cache.i);
+            // Parameter gradients, staged through scratch so the kernel
+            // products never allocate.
+            let dz = scratch.dz.get();
+            let gwx = scratch.gwx.shaped(self.input_dim, 4 * h);
+            cache.x.t_matmul_into(dz, gwx);
+            self.grad_wx += &*gwx;
+            let gwh = scratch.gwh.shaped(h, 4 * h);
+            cache.h_prev.t_matmul_into(dz, gwh);
+            self.grad_wh += &*gwh;
+            let gb = scratch.gb.shaped(1, 4 * h);
+            dz.sum_rows_into(gb);
+            self.grad_b += &*gb;
 
-            // Pre-activation gradients.
-            let dzi = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
-            let dzf = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
-            let dzg = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
-            let dzo = do_.hadamard(&cache.o.map(|v| v * (1.0 - v)));
-            let dz = dzi.hconcat(&dzf).hconcat(&dzg).hconcat(&dzo); // batch × 4H
-
-            self.grad_wx += &cache.x.t_matmul(&dz);
-            self.grad_wh += &cache.h_prev.t_matmul(&dz);
-            self.grad_b += &dz.sum_rows();
-
-            dxs[t] = dz.matmul_t(&self.wx);
-            dh_next = dz.matmul_t(&self.wh);
-            dc_next = dc.hadamard(&cache.f);
+            dz.matmul_t_into(&self.wx, &mut dxs[t]);
+            dz.matmul_t_into(&self.wh, scratch.dh_next.shaped(batch, h));
+            let dc_next = scratch.dc_next.shaped(batch, h);
+            let dc = scratch.dc.get();
+            for ((o, &d), &fv) in
+                dc_next.as_mut_slice().iter_mut().zip(dc.as_slice()).zip(cache.f.as_slice())
+            {
+                *o = d * fv;
+            }
         }
 
-        (dxs, LstmState { h: dh_next, c: dc_next })
+        (dxs, LstmState { h: scratch.dh_next.get().clone(), c: scratch.dc_next.get().clone() })
     }
 
     /// Visits `(parameter, gradient)` pairs: `Wx`, `Wh`, `b`.
@@ -543,6 +692,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(&mut rng, 3, 5);
+        let x = hec_tensor::init::uniform(&mut rng, 2, 3, -1.0, 1.0);
+        let state = LstmState {
+            h: hec_tensor::init::uniform(&mut rng, 2, 5, -1.0, 1.0),
+            c: hec_tensor::init::uniform(&mut rng, 2, 5, -1.0, 1.0),
+        };
+        let by_value = lstm.step(&x, &state, false);
+        // Wrong-shaped buffer on purpose: step_into must resize it.
+        let mut into = LstmState::zeros(1, 5);
+        lstm.step_into(&x, &state, &mut into);
+        assert_eq!(into, by_value);
+        // Training steps agree with inference steps on the produced state.
+        let trained = lstm.step(&x, &state, true);
+        assert_eq!(trained, by_value);
+        lstm.clear_cache();
     }
 
     #[test]

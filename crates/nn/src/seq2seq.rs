@@ -28,6 +28,7 @@ use crate::loss::{Loss, Mse};
 use crate::lstm::{BiLstm, Lstm, LstmState};
 use crate::optim::Optimizer;
 use crate::sequential::Layer;
+use crate::workspace::Buf;
 use crate::Activation;
 
 /// Configuration for a [`Seq2Seq`] model.
@@ -93,6 +94,9 @@ pub struct Seq2Seq {
     dropout: Dropout,
     output: Dense,
     config: Seq2SeqConfig,
+    /// Reused buffer for the autoregressive decoder feedback `x̂_{t}` — the
+    /// only per-step matmul target the layers don't already own.
+    feedback: Buf,
 }
 
 impl Seq2Seq {
@@ -115,7 +119,7 @@ impl Seq2Seq {
         let decoder = Lstm::new(&mut rng, config.input_dim, dec_hidden);
         let output = Dense::new(&mut rng, dec_hidden, config.input_dim, Activation::Linear);
         let dropout = Dropout::new(config.dropout, config.seed.wrapping_add(0x9E37));
-        Self { encoder, decoder, dropout, output, config }
+        Self { encoder, decoder, dropout, output, config, feedback: Buf::new() }
     }
 
     /// The configuration this model was built with.
@@ -178,14 +182,15 @@ impl Seq2Seq {
         }
         let mut state = enc_state;
         // First decoder input is the zero vector ("special token", §II-A2).
-        let mut y_prev = Matrix::zeros(batch, self.config.input_dim);
+        let y_prev = self.feedback.zeroed(batch, self.config.input_dim);
         let mut hs: Vec<Matrix> = Vec::with_capacity(t_len);
         for _ in 0..t_len {
-            state = self.decoder.step(&y_prev, &state, training);
+            state = self.decoder.step(y_prev, &state, training);
             hs.push(state.h.clone());
             // Feedback uses the clean (no-dropout) linear output; gradient
-            // through this path is truncated.
-            y_prev = self.output.affine(&state.h);
+            // through this path is truncated. Written back into the reused
+            // buffer — no per-step matmul allocation.
+            self.output.affine_into(&state.h, y_prev);
         }
         let mut stacked = hs[0].clone();
         for h in &hs[1..] {

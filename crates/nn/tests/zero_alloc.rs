@@ -1,0 +1,126 @@
+//! Allocation accounting for the model hot paths:
+//!
+//! * a warmed inference [`Lstm::step_into`] performs **zero** heap
+//!   allocations (proved with a counting global allocator);
+//! * a full LSTM / seq2seq **training step** makes **zero allocating matmul
+//!   calls** — every product routes through the `_into` kernels into reused
+//!   workspaces or caller-visible outputs (proved with
+//!   `hec_tensor::kernel::matmul_allocations`, which counts the allocating
+//!   wrapper calls; the preallocated `dxs` output vector and returned state
+//!   are the only matmul results that still own fresh memory).
+//!
+//! Everything lives in one `#[test]` so no concurrent test can disturb the
+//! global counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hec_nn::{Lstm, LstmState, RmsProp, Seq2Seq, Seq2SeqConfig};
+use hec_tensor::Matrix;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn hot_paths_are_matmul_allocation_free() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // --- Inference LSTM step: zero total allocations once warm. ---
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut lstm = Lstm::new(&mut rng, 18, 64);
+    let x = hec_tensor::init::uniform(&mut rng, 1, 18, -1.0, 1.0);
+    let state = LstmState {
+        h: hec_tensor::init::uniform(&mut rng, 1, 64, -1.0, 1.0),
+        c: hec_tensor::init::uniform(&mut rng, 1, 64, -1.0, 1.0),
+    };
+    let mut next = LstmState::zeros(1, 64);
+    lstm.step_into(&x, &state, &mut next); // warmup: scratch buffers grow here
+
+    // The counter is process-wide and the test harness occasionally
+    // allocates from another thread mid-window; a step that really
+    // allocated would dirty every window (32 iterations each), so one
+    // clean window out of five keeps the assertion sound without the noise.
+    let mut last_delta = usize::MAX;
+    for _attempt in 0..5 {
+        let before = allocations();
+        for _ in 0..32 {
+            lstm.step_into(&x, &state, &mut next);
+        }
+        last_delta = allocations() - before;
+        if last_delta == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        last_delta, 0,
+        "warmed Lstm::step_into performed {last_delta} heap allocations in every window"
+    );
+
+    // --- LSTM training step (forward_seq + backward_seq): zero allocating
+    // matmul wrapper calls — all products go through `_into` kernels. ---
+    let xs: Vec<Matrix> =
+        (0..16).map(|_| hec_tensor::init::uniform(&mut rng, 1, 18, -1.0, 1.0)).collect();
+    let train_step = |lstm: &mut Lstm| {
+        let states = lstm.forward_seq(&xs, true);
+        let dhs: Vec<Matrix> =
+            states.iter().map(|s| Matrix::ones(s.h.rows(), s.h.cols())).collect();
+        let _ = lstm.backward_seq(&dhs, None);
+    };
+    train_step(&mut lstm); // warmup
+    let wrapper_before = hec_tensor::kernel::matmul_allocations();
+    train_step(&mut lstm);
+    assert_eq!(
+        hec_tensor::kernel::matmul_allocations(),
+        wrapper_before,
+        "LSTM training step performed allocating matmul calls"
+    );
+
+    // --- Full seq2seq training step (encoder, decoder, dense output,
+    // dropout, optimizer): still zero allocating matmul calls. ---
+    let config = Seq2SeqConfig { input_dim: 4, encoder_hidden: 12, ..Default::default() };
+    let mut model = Seq2Seq::new(config);
+    let window: Vec<Matrix> = (0..8)
+        .map(|t| {
+            Matrix::row_vector(&[
+                (t as f32 * 0.3).sin(),
+                (t as f32 * 0.3).cos(),
+                (t as f32 * 0.7).sin(),
+                (t as f32 * 0.7).cos(),
+            ])
+        })
+        .collect();
+    let mut opt = RmsProp::new(1e-3);
+    let _ = model.train_batch(&window, &mut opt); // warmup
+    let wrapper_before = hec_tensor::kernel::matmul_allocations();
+    let _ = model.train_batch(&window, &mut opt);
+    assert_eq!(
+        hec_tensor::kernel::matmul_allocations(),
+        wrapper_before,
+        "Seq2Seq training step performed allocating matmul calls"
+    );
+}

@@ -1,0 +1,372 @@
+//! Shared cache-blocked matmul kernels.
+//!
+//! Every matrix product in the workspace — `matmul`, `t_matmul`, `matmul_t`
+//! and their `_into` variants on [`crate::Matrix`] — bottoms out in the three
+//! kernels here, replacing the three hand-rolled triple loops the substrate
+//! started with:
+//!
+//! * [`gemm_nn`] — `out = A·B`, a register-tiled i-k-j loop: the output is
+//!   processed in `MR × NR` tiles whose accumulators live in registers for
+//!   the whole `k` loop, so output-row traffic drops by a factor of `NR`
+//!   versus the naive loop and the inner body vectorises over `NR` lanes.
+//! * [`gemm_tn`] — `out = Aᵀ·B` without materialising the transpose; the
+//!   summed dimension walks *rows* of both operands, so all loads are
+//!   contiguous.
+//! * [`gemm_nt`] — `out = A·Bᵀ` via the **packed transposed-B path**: `B` is
+//!   repacked into a transposed buffer (reused across calls, thread-local)
+//!   and the product runs through [`gemm_nn`]. Packing costs `k·n` moves but
+//!   turns an unvectorisable per-element dot-product reduction into the tiled
+//!   kernel above.
+//!
+//! # Determinism
+//!
+//! All three kernels accumulate each output element strictly in ascending
+//! order of the summed index — the same order as the naive loops they
+//! replaced — so for finite operands results are bit-identical to the
+//! pre-kernel substrate and seeded experiments reproduce exactly. (The old
+//! loops skipped terms whose `A` element was exactly `0.0`; the kernels
+//! accumulate every term, which only differs for non-finite operands, where
+//! `0.0 × ∞`/`0.0 × NaN` now propagate NaN per IEEE-754.)
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows of `A` per register tile.
+const MR: usize = 4;
+/// Columns of `B` per register tile (two 8-lane f32 vectors on AVX2).
+const NR: usize = 16;
+
+/// Allocating matmul wrapper calls since process start — see
+/// [`matmul_allocations`].
+static MATMUL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Reusable packing buffer for [`gemm_nt`]'s transposed-B path. Grows to
+    /// the largest `k × n` panel seen on this thread and is then reused, so
+    /// steady-state calls allocate nothing.
+    static PACK_BT: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of *allocating* matmul wrapper calls (`Matrix::matmul`,
+/// `t_matmul`, `matmul_t`) since process start.
+///
+/// Hot paths are expected to use the `_into` family, which never touches
+/// this counter; tests assert a delta of zero around a warmed training step
+/// to prove the hot path performs no matmul-related heap allocations.
+pub fn matmul_allocations() -> usize {
+    MATMUL_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Records one allocating matmul call (see [`matmul_allocations`]).
+pub(crate) fn count_matmul_alloc() {
+    MATMUL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Zeroes the trailing `n % NR` column strip of a row-major `m×n` output —
+/// the only region the scalar ragged-corner path *accumulates* into. Every
+/// full-`NR`-wide tile (micro kernels and the full-width edge path) fully
+/// overwrites its output region, so zero-filling it would be wasted work on
+/// the hot exact-multiple shapes.
+fn zero_ragged_tail(n: usize, out: &mut [f32]) {
+    let tail = n % NR;
+    if tail == 0 {
+        return;
+    }
+    if tail == n {
+        out.fill(0.0);
+        return;
+    }
+    for row in out.chunks_exact_mut(n) {
+        row[n - tail..].fill(0.0);
+    }
+}
+
+/// `out = A·B` where `A` is `m×k`, `B` is `k×n` and `out` is `m×n`, all
+/// row-major. Overwrites `out` completely.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a slice length disagrees with its dimensions.
+pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    zero_ragged_tail(n, out);
+    let mut i = 0;
+    while i < m {
+        let ib = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jb = NR.min(n - j);
+            if ib == MR && jb == NR {
+                micro_nn(i, j, k, n, a, b, out);
+            } else {
+                edge_any(i, ib, j, jb, k, n, b, out, |row, kk| a[row * k + kk]);
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
+/// `out = Aᵀ·B` where `A` is `r×m` (so `Aᵀ` is `m×r`), `B` is `r×n` and
+/// `out` is `m×n`. Overwrites `out` completely.
+pub fn gemm_tn(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), r * m);
+    debug_assert_eq!(b.len(), r * n);
+    debug_assert_eq!(out.len(), m * n);
+    zero_ragged_tail(n, out);
+    let mut i = 0;
+    while i < m {
+        let ib = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jb = NR.min(n - j);
+            if ib == MR && jb == NR {
+                micro_tn(i, j, r, m, n, a, b, out);
+            } else {
+                edge_any(i, ib, j, jb, r, n, b, out, |col, kk| a[kk * m + col]);
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
+/// `out = A·Bᵀ` where `A` is `m×k`, `B` is `nr×k` (so `Bᵀ` is `k×nr`) and
+/// `out` is `m×nr`. Overwrites `out` completely.
+///
+/// Packs `Bᵀ` into a thread-local buffer first (allocation-free once the
+/// buffer has grown to the workload's panel size), then multiplies through
+/// [`gemm_nn`] — see the module docs for why.
+pub fn gemm_nt(m: usize, k: usize, nr: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), nr * k);
+    debug_assert_eq!(out.len(), m * nr);
+    PACK_BT.with(|cell| {
+        let mut bt = cell.borrow_mut();
+        // Grow-only: the pack loop below overwrites every element of the
+        // k×nr panel, so no zero-fill of the slice is needed.
+        if bt.len() < k * nr {
+            bt.resize(k * nr, 0.0);
+        }
+        let panel = &mut bt[..k * nr];
+        for (j, b_row) in b.chunks_exact(k).enumerate() {
+            for (kk, &v) in b_row.iter().enumerate() {
+                panel[kk * nr + j] = v;
+            }
+        }
+        gemm_nn(m, k, nr, a, panel, out);
+    });
+}
+
+/// Full `MR × NR` register tile of `A·B`: accumulators stay live across the
+/// whole summed dimension, written back once.
+#[inline(always)]
+fn micro_nn(i: usize, j: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    let a0 = &a[i * k..(i + 1) * k];
+    let a1 = &a[(i + 1) * k..(i + 2) * k];
+    let a2 = &a[(i + 2) * k..(i + 3) * k];
+    let a3 = &a[(i + 3) * k..(i + 4) * k];
+    let (mut c0, mut c1, mut c2, mut c3) = ([0.0f32; NR], [0.0f32; NR], [0.0f32; NR], [0.0f32; NR]);
+    for (kk, b_full) in b.chunks_exact(n).enumerate() {
+        let b_row: &[f32; NR] = b_full[j..j + NR].try_into().expect("NR-wide tile slice");
+        let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+        for c in 0..NR {
+            c0[c] += v0 * b_row[c];
+            c1[c] += v1 * b_row[c];
+            c2[c] += v2 * b_row[c];
+            c3[c] += v3 * b_row[c];
+        }
+    }
+    for (r, acc) in [c0, c1, c2, c3].iter().enumerate() {
+        out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(acc);
+    }
+}
+
+/// Full `MR × NR` register tile of `Aᵀ·B`: the `MR` values of `A` per summed
+/// step are contiguous (`A` is walked row-wise), so all loads stream.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_tn(
+    i: usize,
+    j: usize,
+    r: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    let (mut c0, mut c1, mut c2, mut c3) = ([0.0f32; NR], [0.0f32; NR], [0.0f32; NR], [0.0f32; NR]);
+    for kk in 0..r {
+        let a4: &[f32; MR] = a[kk * m + i..kk * m + i + MR].try_into().expect("MR-wide tile slice");
+        let b_row: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().expect("NR-wide slice");
+        for c in 0..NR {
+            c0[c] += a4[0] * b_row[c];
+            c1[c] += a4[1] * b_row[c];
+            c2[c] += a4[2] * b_row[c];
+            c3[c] += a4[3] * b_row[c];
+        }
+    }
+    for (row, acc) in [c0, c1, c2, c3].iter().enumerate() {
+        out[(i + row) * n + j..(i + row) * n + j + NR].copy_from_slice(acc);
+    }
+}
+
+/// Ragged edge tile (fewer than `MR` rows or `NR` columns). Full-width
+/// `NR` column tiles still get a register accumulator per row — this is the
+/// hot path for batch-1 model steps (`m = 1`) — and only the final corner
+/// falls back to scalar accumulation. Summation order matches the tile path.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn edge_any(
+    i: usize,
+    ib: usize,
+    j: usize,
+    jb: usize,
+    k: usize,
+    n: usize,
+    b: &[f32],
+    out: &mut [f32],
+    a_at: impl Fn(usize, usize) -> f32,
+) {
+    for row in i..i + ib {
+        if jb == NR {
+            let mut acc = [0.0f32; NR];
+            for (kk, b_full) in b.chunks_exact(n).enumerate() {
+                let b_row: &[f32; NR] = b_full[j..j + NR].try_into().expect("NR-wide slice");
+                let av = a_at(row, kk);
+                for c in 0..NR {
+                    acc[c] += av * b_row[c];
+                }
+            }
+            out[row * n + j..row * n + j + NR].copy_from_slice(&acc);
+        } else {
+            let (o_start, o_end) = (row * n + j, row * n + j + jb);
+            for kk in 0..k {
+                let av = a_at(row, kk);
+                let b_row = &b[kk * n + j..kk * n + j + jb];
+                let o_row = &mut out[o_start..o_end];
+                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn ramp(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|x| ((x % 17) as f32 - 8.0) * scale).collect()
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive_on_ragged_shapes() {
+        for &(m, k, n) in
+            &[(1, 1, 1), (4, 4, 16), (5, 3, 17), (96, 64, 96), (7, 129, 3), (33, 2, 31)]
+        {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let mut out = vec![0.0f32; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut out);
+            assert_eq!(out, naive_nn(m, k, n, &a, &b), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_transposed_naive() {
+        let (r, m, n) = (6, 5, 19);
+        let a = ramp(r * m, 0.1);
+        let b = ramp(r * n, 0.3);
+        let mut at = vec![0.0f32; m * r];
+        for row in 0..r {
+            for col in 0..m {
+                at[col * r + row] = a[row * m + col];
+            }
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_tn(r, m, n, &a, &b, &mut out);
+        let expect = naive_nn(m, r, n, &at, &b);
+        for (x, y) in out.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_dot_products() {
+        let (m, k, nr) = (5, 23, 7);
+        let a = ramp(m * k, 0.2);
+        let b = ramp(nr * k, 0.4);
+        let mut out = vec![0.0f32; m * nr];
+        gemm_nt(m, k, nr, &a, &b, &mut out);
+        for i in 0..m {
+            for j in 0..nr {
+                let dot: f32 =
+                    (0..k).map(|kk| a[i * k + kk] * b[j * k + kk]).fold(0.0, |s, x| s + x);
+                assert!((out[i * nr + j] - dot).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_overwrites_stale_output() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut out = [99.0f32];
+        gemm_nn(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out[0], 11.0);
+    }
+
+    #[test]
+    fn gemm_overwrites_stale_output_on_every_tile_path() {
+        // Shapes chosen to hit each write path: exact MR×NR tiles (4,3,16),
+        // partial rows at full NR width (5,3,16), ragged tail columns
+        // (5,3,17), and tail-only narrow outputs (3,2,5). Stale garbage in
+        // `out` must never leak into any region.
+        for &(m, k, n) in &[(4usize, 3usize, 16usize), (5, 3, 16), (5, 3, 17), (3, 2, 5)] {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let mut out = vec![99.0f32; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut out);
+            assert_eq!(out, naive_nn(m, k, n, &a, &b), "gemm_nn stale {m}x{k}x{n}");
+
+            // Same stale-buffer guarantee for the transposed-A kernel.
+            let at = ramp(k * m, 0.2); // k×m operand read as Aᵀ
+            let mut out_t = vec![-7.0f32; m * n];
+            gemm_tn(k, m, n, &at, &b, &mut out_t);
+            let mut a_mat = vec![0.0f32; m * k];
+            for row in 0..k {
+                for col in 0..m {
+                    a_mat[col * k + row] = at[row * m + col];
+                }
+            }
+            let expect = naive_nn(m, k, n, &a_mat, &b);
+            for (x, y) in out_t.iter().zip(expect.iter()) {
+                assert!((x - y).abs() < 1e-5, "gemm_tn stale {m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_counter_is_monotone() {
+        let before = matmul_allocations();
+        count_matmul_alloc();
+        assert!(matmul_allocations() > before);
+    }
+}

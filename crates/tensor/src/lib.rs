@@ -17,6 +17,10 @@
 //!   score (§II-A3).
 //! * [`vecops`] — free functions over `&[f32]` slices (dot, softmax,
 //!   argmax, running stats) used in hot paths that do not need a full matrix.
+//! * [`kernel`] — the shared cache-blocked matmul kernels behind every
+//!   matrix product, plus the `_into` buffer-reuse convention: hot paths call
+//!   `matmul_into`/`t_matmul_into`/`matmul_t_into` with caller-owned buffers
+//!   so steady-state training allocates no matmul temporaries.
 //!
 //! # Example
 //!
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod quantize;
 pub mod stats;

@@ -191,12 +191,59 @@ impl Matrix {
 
     /// Copies column `c` into a fresh `Vec`.
     ///
+    /// Prefer [`Matrix::col_iter`] in hot paths — it walks the same elements
+    /// without allocating.
+    ///
     /// # Panics
     ///
     /// Panics if `c >= cols`.
     pub fn col(&self, c: usize) -> Vec<f32> {
+        self.col_iter(c).collect()
+    }
+
+    /// Non-allocating strided iterator over column `c`, top to bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use hec_tensor::Matrix;
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    /// assert_eq!(m.col_iter(1).collect::<Vec<_>>(), vec![2.0, 4.0]);
+    /// ```
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f32> + '_ {
         assert!(c < self.cols, "col index {c} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        self.data[c..].iter().step_by(self.cols).copied()
+    }
+
+    /// Reshapes the matrix to `rows × cols` **reusing the existing
+    /// allocation** whenever its capacity allows. Contents are unspecified
+    /// afterwards; callers are expected to overwrite (this is the primitive
+    /// behind the `_into` buffer-reuse convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Sets every element to `value` in place.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the existing allocation
+    /// when possible.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Iterator over rows as slices.
@@ -206,84 +253,116 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses a cache-friendly i-k-j loop order; adequate for the model sizes in
-    /// this reproduction (≤ a few thousand units).
+    /// Allocates the output; hot paths should prefer [`Matrix::matmul_into`]
+    /// with a reused buffer. Both route through the shared cache-blocked
+    /// kernel in [`crate::kernel`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        crate::kernel::count_matmul_alloc();
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhs` written into `out` (resized in place, reusing its
+    /// allocation when possible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
-        out
+        out.resize(self.rows, rhs.cols);
+        crate::kernel::gemm_nn(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// `selfᵀ · rhs` without materialising the transpose.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`Matrix::t_matmul_into`].
     ///
     /// # Panics
     ///
     /// Panics if `self.rows != rhs.rows`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        crate::kernel::count_matmul_alloc();
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ · rhs` written into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul dimension mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.resize(self.cols, rhs.cols);
+        crate::kernel::gemm_tn(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`Matrix::matmul_t_into`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        crate::kernel::count_matmul_alloc();
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhsᵀ` written into `out` (resized in place). Uses the packed
+    /// transposed-B kernel path (see [`crate::kernel::gemm_nt`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                out.data[i * rhs.rows + j] =
-                    a_row.iter().zip(b_row.iter()).map(|(a, b)| a * b).sum();
-            }
-        }
-        out
+        out.resize(self.rows, rhs.rows);
+        crate::kernel::gemm_nt(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// Returns the transpose as a new matrix.
@@ -306,6 +385,19 @@ impl Matrix {
         self.assert_same_shape(rhs, "hadamard");
         let data = self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a * b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise product written into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.assert_same_shape(rhs, "hadamard");
+        out.resize(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+            *o = a * b;
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -354,27 +446,53 @@ impl Matrix {
     ///
     /// Panics if `bias` is not `1 × self.cols`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// Adds a 1×cols row vector to every row **in place**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "broadcast bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "broadcast bias width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (x, &b) in row.iter_mut().zip(bias.data.iter()) {
                 *x += b;
             }
         }
-        out
+    }
+
+    /// `self + bias` (row broadcast) written into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row_broadcast_into(&self, bias: &Matrix, out: &mut Matrix) {
+        out.copy_from(self);
+        out.add_row_broadcast_assign(bias);
     }
 
     /// Sums the rows into a 1×cols row vector.
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sums the rows into `out` (resized to `1 × cols` in place).
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.resize(1, self.cols);
+        out.fill(0.0);
         for row in self.iter_rows() {
             for (o, &x) in out.data.iter_mut().zip(row.iter()) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Sum of all elements.
@@ -737,6 +855,65 @@ mod tests {
         assert_eq!(c.as_slice(), &[4.0, 1.0]);
         c -= &b;
         assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        // Deliberately wrong-shaped buffer: `_into` must resize it.
+        let mut out = Matrix::ones(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let at = a.transpose();
+        at.t_matmul_into(&b, &mut out);
+        assert_eq!(out, at.t_matmul(&b));
+
+        let bt = b.transpose();
+        a.matmul_t_into(&bt, &mut out);
+        assert_eq!(out, a.matmul_t(&bt));
+
+        let c = Matrix::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, -0.5, 0.0]]);
+        a.hadamard_into(&c, &mut out);
+        assert_eq!(out, a.hadamard(&c));
+
+        let bias = Matrix::row_vector(&[1.0, -1.0, 0.5]);
+        a.add_row_broadcast_into(&bias, &mut out);
+        assert_eq!(out, a.add_row_broadcast(&bias));
+
+        a.sum_rows_into(&mut out);
+        assert_eq!(out, a.sum_rows());
+    }
+
+    #[test]
+    fn col_iter_matches_col() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        for c in 0..2 {
+            assert_eq!(m.col_iter(c).collect::<Vec<_>>(), m.col(c));
+        }
+    }
+
+    #[test]
+    fn resize_reuses_and_reshapes() {
+        let mut m = Matrix::zeros(4, 4);
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        m.fill(7.0);
+        assert!(m.as_slice().iter().all(|&x| x == 7.0));
+        let src = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+    }
+
+    #[test]
+    fn broadcast_assign_matches_allocating() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+        let mut b = a.clone();
+        b.add_row_broadcast_assign(&bias);
+        assert_eq!(b, a.add_row_broadcast(&bias));
     }
 
     #[test]
