@@ -1,0 +1,45 @@
+//! Criterion bench: discrete-event fleet simulator throughput — how fast
+//! virtual windows stream through the 3-layer hierarchy. The quick-scale
+//! named scenarios run in full per iteration (20k–25k windows each);
+//! events/sec on the build machine is recorded in EXPERIMENTS.md from
+//! `repro_fleet`'s stderr timing at full scale (≥1M windows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hec_sim::fleet::{FleetScale, FleetScenario, FleetSim};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_throughput_quick");
+    for name in FleetScenario::NAMES {
+        let sc = FleetScenario::by_name(name, FleetScale::Quick).expect("named scenario");
+        let windows = sc.total_windows();
+        group.bench_function(&format!("{name}_{windows}_windows"), |b| {
+            b.iter(|| black_box(FleetSim::new(black_box(&sc)).run()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    // The raw heap underneath it all: schedule+pop round-trips.
+    let mut group = c.benchmark_group("fleet_event_queue");
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = hec_sim::EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times so the heap actually reorders.
+                q.schedule(((i * 2_654_435_761) % 1_000_000) as f64, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Runs the named discrete-event **fleet scenarios** — light_load,
+//! edge_saturated, cloud_link_constrained, flash_crowd — streaming the
+//! whole device fleet's windows through the 3-layer hierarchy with
+//! per-layer queueing, bandwidth-shared links and admission control, and
+//! reports load-dependent latency distributions, utilization and drop
+//! rates per layer.
+//!
+//! `HEC_PROFILE=full` (the default) runs ≥100k devices / ≥1M windows per
+//! scenario; `quick` runs the same rates at 1/50 scale. Everything on
+//! stdout is deterministic — same profile ⇒ byte-identical output, which
+//! the CI smoke job enforces by diffing two runs (timing goes to stderr).
+//!
+//! ```text
+//! cargo run --release -p hec-bench --bin repro_fleet -- [out_dir] [--stream]
+//! ```
+//!
+//! With `out_dir`, per-layer and queue-trace CSVs are written there. With
+//! `--stream`, the evaluation corpus is additionally streamed through a
+//! mid-load fleet under all five schemes (closed loop: the trained
+//! bandit's actions shape the queueing), printing accuracy/F1 next to the
+//! load-dependent delays.
+
+use std::time::Instant;
+
+use hec_bench::{univariate_config, Profile};
+use hec_core::stream::{fleet_stream_csv, stream_through_fleet, FleetStreamResult};
+use hec_core::{Experiment, SchemeKind};
+use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, FleetSim, RoutePlan};
+
+fn scale_of(profile: Profile) -> FleetScale {
+    match profile {
+        Profile::Quick => FleetScale::Quick,
+        Profile::Full => FleetScale::Full,
+    }
+}
+
+fn main() {
+    let mut out_dir: Option<String> = None;
+    let mut with_stream = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--stream" {
+            with_stream = true;
+        } else if arg.starts_with('-') || out_dir.is_some() {
+            eprintln!("usage: repro_fleet [out_dir] [--stream]  (unexpected argument {arg:?})");
+            std::process::exit(2);
+        } else {
+            out_dir = Some(arg);
+        }
+    }
+    let profile = Profile::from_env();
+    let scale = scale_of(profile);
+    println!("== repro_fleet (profile: {profile:?}) ==\n");
+
+    for name in FleetScenario::NAMES {
+        let sc = FleetScenario::by_name(name, scale).expect("named scenario");
+        let sim = FleetSim::new(&sc);
+        let t0 = Instant::now();
+        let report = sim.run();
+        let wall = t0.elapsed().as_secs_f64();
+        // Wall-clock throughput is machine-dependent: stderr only, so
+        // stdout stays byte-identical across reruns.
+        eprintln!(
+            "[timing] {name}: {:.2} s wall, {:.2}M events/s, {:.2}M windows/s",
+            wall,
+            report.events as f64 / wall / 1e6,
+            report.emitted as f64 / wall / 1e6
+        );
+        print!("{}", report.to_text());
+        println!();
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            let layers = format!("{dir}/fleet_{name}_layers.csv");
+            std::fs::write(&layers, report.layers_csv()).expect("write layers CSV");
+            let trace = format!("{dir}/fleet_{name}_trace.csv");
+            std::fs::write(&trace, report.trace_csv()).expect("write trace CSV");
+            println!("  wrote {layers} and {trace}\n");
+        }
+    }
+
+    if with_stream {
+        stream_schemes(profile, scale, out_dir.as_deref());
+    }
+}
+
+/// Closed loop: train the univariate pipeline, then stream the evaluation
+/// corpus from every device of a mid-load fleet under each scheme — the
+/// policy's action distribution now determines which queues build up.
+fn stream_schemes(profile: Profile, scale: FleetScale, out_dir: Option<&str>) {
+    println!("-- closed-loop scheme streaming (fleet-loaded delays) --\n");
+    let config = univariate_config(profile);
+    let mut exp = Experiment::prepare(config);
+    exp.train_detectors();
+    let policy_corpus = exp.split.policy_train.clone();
+    let policy_oracle = exp.oracle_over(&policy_corpus);
+    let (mut policy, scaler, _) = exp.train_policy(&policy_oracle);
+    let eval_corpus = exp.split.full.clone();
+    let eval_oracle = exp.oracle_over(&eval_corpus);
+
+    // A fleet hot enough that routing everything to one layer hurts:
+    // ~1.3k windows/s offered against the edge's ~540/s and a 6 Mbit/s
+    // cloud uplink (~2k windows/s of 384 B payloads). The same divisor
+    // the named scenarios use keeps the rates identical at both scales.
+    let s = scale.divisor();
+    let mut sc = FleetScenario::light_load(scale);
+    sc.name = "scheme_stream".into();
+    sc.batch_max = 1;
+    sc.cloud_bandwidth_mbps = Some(6.0);
+    sc.cohorts = vec![CohortSpec {
+        devices: (100_000.0 / s) as u32,
+        windows_per_device: 10,
+        period_ms: 75_000.0 / s,
+        start_ms: 0.0,
+        route: RoutePlan::Fixed(0), // overridden by the scheme router
+    }];
+
+    let results: Vec<FleetStreamResult> = SchemeKind::ALL
+        .iter()
+        .map(|&kind| match kind {
+            SchemeKind::Adaptive => {
+                stream_through_fleet(&sc, &eval_oracle, kind, Some(&mut policy), Some(&scaler))
+            }
+            _ => stream_through_fleet(&sc, &eval_oracle, kind, None, None),
+        })
+        .collect();
+
+    for r in &results {
+        println!(
+            "{:<12} served={:<8} missed={:<8} acc={:.4} f1={:.4} mean={:.2} ms p99={:.2} ms",
+            r.scheme.to_string(),
+            r.fleet.served,
+            r.missed,
+            r.accuracy(),
+            r.f1(),
+            r.fleet.overall_mean_ms,
+            r.fleet.overall_p99_ms
+        );
+    }
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = format!("{dir}/fleet_schemes.csv");
+        std::fs::write(&path, fleet_stream_csv(&results)).expect("write scheme CSV");
+        println!("\n  wrote {path}");
+    }
+}

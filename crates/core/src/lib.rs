@@ -15,7 +15,9 @@
 //!   every scheme (Tables I and II);
 //! * [`report`] — table rows and ASCII formatting for the reproduction
 //!   harness;
-//! * [`stream`] — the demo result panel's streaming series (Fig. 3b);
+//! * [`stream`] — the demo result panel's streaming series (Fig. 3b) and
+//!   the closed-loop fleet streaming driver (windows → policy actions →
+//!   discrete-event fleet sim, so the bandit's action changes queueing);
 //! * [`ablation`] — α sweeps, baseline ablation, bandit-solver comparison
 //!   and confidence-rule sweeps (DESIGN.md §5);
 //! * [`parallel`] — scoped-thread helpers (`HEC_THREADS` override) behind

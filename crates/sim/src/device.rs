@@ -25,22 +25,42 @@ pub struct DeviceProfile {
     /// Relative slowdown factor for recurrent (step-sequential) workloads,
     /// which cannot batch across time (≥ 1).
     pub recurrent_overhead: f64,
+    /// How many detection jobs the machine can service simultaneously —
+    /// the server count of this layer's queue in the fleet simulator
+    /// (`crate::fleet`). The Pi runs one inference at a time; the shared
+    /// edge/cloud servers each sustain several concurrent model instances.
+    pub concurrency: usize,
 }
 
 impl DeviceProfile {
     /// The paper's IoT device.
     pub fn raspberry_pi3() -> Self {
-        Self { name: "Raspberry Pi 3".into(), effective_mflops: 44.0, recurrent_overhead: 3.5 }
+        Self {
+            name: "Raspberry Pi 3".into(),
+            effective_mflops: 44.0,
+            recurrent_overhead: 3.5,
+            concurrency: 1,
+        }
     }
 
     /// The paper's edge server.
     pub fn jetson_tx2() -> Self {
-        Self { name: "NVIDIA Jetson TX2".into(), effective_mflops: 257.0, recurrent_overhead: 2.9 }
+        Self {
+            name: "NVIDIA Jetson TX2".into(),
+            effective_mflops: 257.0,
+            recurrent_overhead: 2.9,
+            concurrency: 4,
+        }
     }
 
     /// The paper's cloud server.
     pub fn devbox() -> Self {
-        Self { name: "NVIDIA Devbox".into(), effective_mflops: 482.0, recurrent_overhead: 2.1 }
+        Self {
+            name: "NVIDIA Devbox".into(),
+            effective_mflops: 482.0,
+            recurrent_overhead: 2.1,
+            concurrency: 16,
+        }
     }
 }
 
@@ -152,5 +172,8 @@ mod tests {
         let devbox = DeviceProfile::devbox();
         assert!(pi.effective_mflops < tx2.effective_mflops);
         assert!(tx2.effective_mflops < devbox.effective_mflops);
+        assert!(pi.concurrency <= tx2.concurrency);
+        assert!(tx2.concurrency <= devbox.concurrency);
+        assert!(pi.concurrency >= 1);
     }
 }

@@ -69,9 +69,12 @@ impl<T> EventQueue<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `time_ms` is NaN or earlier than the current virtual time.
+    /// Panics if `time_ms` is non-finite (NaN or ±∞) or earlier than the
+    /// current virtual time. Non-finite times would silently corrupt the
+    /// heap order (`Ord` has no total order over NaN), so they are rejected
+    /// at the door rather than surfacing later as mis-ordered events.
     pub fn schedule(&mut self, time_ms: f64, payload: T) {
-        assert!(!time_ms.is_nan(), "event time must not be NaN");
+        assert!(time_ms.is_finite(), "event time must be finite, got {time_ms}");
         assert!(
             time_ms >= self.now_ms,
             "cannot schedule in the past ({} < {})",
@@ -103,6 +106,11 @@ impl<T> EventQueue<T> {
     /// Current virtual time (time of the last popped event).
     pub fn now_ms(&self) -> f64 {
         self.now_ms
+    }
+
+    /// Virtual time of the earliest pending event, without popping it.
+    pub fn peek_time_ms(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time_ms)
     }
 
     /// Number of pending events.
@@ -179,6 +187,35 @@ mod tests {
         q.schedule(10.0, ());
         let _ = q.pop();
         q.schedule(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn nan_time_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn infinite_time_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be non-negative")]
+    fn nan_delay_rejected() {
+        // NaN fails the `delay >= 0` check before it can reach the heap.
+        let mut q = EventQueue::new();
+        q.schedule_in(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn infinite_delay_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule_in(f64::INFINITY, ());
     }
 
     #[test]

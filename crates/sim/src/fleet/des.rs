@@ -1,0 +1,732 @@
+//! The discrete-event fleet engine.
+//!
+//! A virtual-clock simulator driven by [`EventQueue`] that streams every
+//! window of a [`FleetScenario`] through the 3-layer hierarchy:
+//!
+//! ```text
+//! device cohorts ──emit──▶ router ──▶ layer 0: per-device dedicated server
+//!                                 └─▶ layer ℓ≥1: uplink (PS when capped)
+//!                                          └──▶ compute queue (FIFO/PS)
+//!                                                   └──▶ downlink ─▶ done
+//! ```
+//!
+//! Service times come from the topology's [`HecTopology::exec_ms`] ladder,
+//! concurrency limits from [`crate::DeviceProfile::concurrency`], and link
+//! contention from the scenario's bandwidth overrides. Detection delay is
+//! therefore *load-dependent*: the same action costs more under queueing.
+//!
+//! The engine is single-threaded and fully deterministic — same scenario,
+//! same seed ⇒ byte-identical [`FleetReport`] regardless of host thread
+//! count or `HEC_THREADS`. The hot path is batched: one emission event
+//! injects a whole phase bucket of windows, and a freed server dequeues
+//! jobs in batches, so millions of windows cost only a few events each.
+
+use crate::event::EventQueue;
+use crate::topology::HecTopology;
+
+use super::metrics::{DropReason, FleetReport, LatencyHist, LayerSummary, TraceSample};
+use super::queueing::{FifoQueue, JobRec, PsResource};
+use super::scenario::{Discipline, FleetScenario};
+
+/// Context handed to the router when a window is emitted.
+#[derive(Debug)]
+pub struct RouteCtx<'a> {
+    /// Emitting device (global id).
+    pub device: u32,
+    /// Global window sequence number.
+    pub seq: u64,
+    /// Cohort the device belongs to.
+    pub cohort: u32,
+    /// Virtual emission time, ms.
+    pub now_ms: f64,
+    /// Per-layer compute backlog, sampled at the emitting bucket's start
+    /// (waiting line for FIFO layers, in-flight count for PS layers,
+    /// device-local in-flight for layer 0).
+    pub queue_depth: &'a [usize],
+    /// Per-layer concurrent uplink transfers (0 for uncapped links).
+    pub link_inflight: &'a [usize],
+}
+
+/// Per-window completion/drop notification for observers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobEvent {
+    /// The window was served to completion.
+    Served {
+        /// Global window sequence number.
+        seq: u64,
+        /// Emitting device.
+        device: u32,
+        /// Layer that served it.
+        layer: usize,
+        /// Load-dependent end-to-end latency, ms.
+        latency_ms: f64,
+    },
+    /// The window was shed by admission control.
+    Dropped {
+        /// Global window sequence number.
+        seq: u64,
+        /// Emitting device.
+        device: u32,
+        /// Layer it was routed to.
+        layer: usize,
+        /// Where it was shed.
+        reason: DropReason,
+    },
+}
+
+/// Discrete events of the fleet simulation.
+enum Ev {
+    /// One phase bucket of a cohort emits its next window per device.
+    Emit { cohort: u32, bucket: u32 },
+    /// A bandwidth-shared uplink may have completed transfers.
+    LinkDone { layer: u8, epoch: u64 },
+    /// A transferred window reaches a shared layer's compute stage.
+    ComputeArrive { layer: u8, job: JobRec },
+    /// A FIFO service batch finishes.
+    ComputeDone { layer: u8, slot: u32 },
+    /// A PS compute layer may have completed jobs.
+    PsComputeDone { layer: u8, epoch: u64 },
+    /// A device-local execution finishes (gauge bookkeeping only).
+    LocalDone,
+    /// Periodic queue-depth sample.
+    Trace,
+}
+
+/// Compute stage of a shared layer.
+enum Stage {
+    Fifo(FifoQueue),
+    Ps(PsResource),
+}
+
+/// Per-layer mutable simulation state.
+struct LayerState {
+    exec_ms: f64,
+    /// One-way propagation, ms (half the round trip).
+    prop_ms: f64,
+    /// `Some` when the uplink is bandwidth-capped: the PS resource plus
+    /// the per-window serialisation time at full bandwidth, ms.
+    link: Option<(PsResource, f64)>,
+    /// Shared compute stage (`None` for layer 0).
+    stage: Option<Stage>,
+    offered: u64,
+    served: u64,
+    dropped_queue: u64,
+    dropped_link: u64,
+    busy_ms: f64,
+    link_work_ms: f64,
+    latency: LatencyHist,
+}
+
+/// A configured fleet simulation, ready to run.
+pub struct FleetSim<'a> {
+    scenario: &'a FleetScenario,
+    topology: HecTopology,
+}
+
+impl<'a> FleetSim<'a> {
+    /// Prepares a simulation on the scenario's own topology
+    /// ([`FleetScenario::topology`]).
+    pub fn new(scenario: &'a FleetScenario) -> Self {
+        let topology = scenario.topology();
+        Self::with_topology(scenario, topology)
+    }
+
+    /// Prepares a simulation on an explicit topology (the scenario's
+    /// bandwidth overrides are ignored; the topology is taken as-is).
+    pub fn with_topology(scenario: &'a FleetScenario, topology: HecTopology) -> Self {
+        assert!(!scenario.cohorts.is_empty(), "scenario has no cohorts");
+        Self { scenario, topology }
+    }
+
+    /// Runs the scenario with its own routing plans and no observer.
+    pub fn run(&self) -> FleetReport {
+        let seed = self.scenario.seed;
+        let cohorts = &self.scenario.cohorts;
+        let mut router =
+            |ctx: &RouteCtx| cohorts[ctx.cohort as usize].route.layer_for(seed, ctx.seq);
+        self.run_with(&mut router, &mut |_| {})
+    }
+
+    /// Runs with a custom router (e.g. a trained policy choosing the
+    /// action per window) and an observer receiving every per-window
+    /// [`JobEvent`] in deterministic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router returns a layer outside the topology.
+    pub fn run_with(
+        &self,
+        router: &mut dyn FnMut(&RouteCtx) -> usize,
+        observer: &mut dyn FnMut(&JobEvent),
+    ) -> FleetReport {
+        let sc = self.scenario;
+        let topo = &self.topology;
+        let k = topo.num_layers();
+        let total_devices: u64 = sc.total_devices();
+        let payload_bits = sc.payload_bytes as f64 * 8.0;
+
+        // --- Per-layer state -------------------------------------------
+        let mut layers: Vec<LayerState> = (0..k)
+            .map(|l| {
+                let spec = &topo.layers()[l];
+                let link = spec.uplink.bandwidth_mbps.filter(|_| l > 0).map(|mbps| {
+                    let ser_ms = payload_bits / (mbps * 1e6) * 1e3;
+                    (PsResource::new(1.0, f64::INFINITY, sc.link_max_inflight), ser_ms)
+                });
+                let stage = (l > 0).then(|| {
+                    let servers = spec.device.concurrency.max(1);
+                    match sc.discipline {
+                        Discipline::Fifo => Stage::Fifo(FifoQueue::new(
+                            servers,
+                            sc.queue_capacity,
+                            sc.batch_max,
+                            sc.batch_factor,
+                        )),
+                        Discipline::ProcessorSharing => Stage::Ps(PsResource::new(
+                            servers as f64,
+                            1.0,
+                            sc.queue_capacity + servers,
+                        )),
+                    }
+                });
+                LayerState {
+                    exec_ms: topo.exec_ms(l),
+                    prop_ms: spec.uplink.rtt_ms / 2.0,
+                    link,
+                    stage,
+                    offered: 0,
+                    served: 0,
+                    dropped_queue: 0,
+                    dropped_link: 0,
+                    busy_ms: 0.0,
+                    link_work_ms: 0.0,
+                    latency: LatencyHist::new(),
+                }
+            })
+            .collect();
+
+        // --- Emission schedule -----------------------------------------
+        // Devices of cohort c occupy the contiguous id range starting at
+        // `bases[c]`; each cohort's devices are spread over `buckets`
+        // phase offsets within the period, one Emit event per bucket tick.
+        let mut bases: Vec<u32> = Vec::with_capacity(sc.cohorts.len());
+        let mut next = 0u32;
+        for c in &sc.cohorts {
+            bases.push(next);
+            next += c.devices;
+        }
+        let bucket_count: Vec<u32> =
+            sc.cohorts.iter().map(|c| sc.emit_buckets.clamp(1, c.devices.max(1))).collect();
+        let mut ticks: Vec<Vec<u32>> =
+            bucket_count.iter().map(|&b| vec![0u32; b as usize]).collect();
+        let bucket_range = |c: usize, b: u32| -> (u32, u32) {
+            let devices = sc.cohorts[c].devices;
+            let buckets = bucket_count[c];
+            let base = devices / buckets;
+            let rem = devices % buckets;
+            let lo = b * base + b.min(rem);
+            let hi = lo + base + u32::from(b < rem);
+            (lo, hi)
+        };
+        let emit_time = |c: usize, b: u32, tick: u32| -> f64 {
+            let spec = &sc.cohorts[c];
+            let phase = spec.period_ms * (b as f64 / bucket_count[c] as f64);
+            spec.start_ms + tick as f64 * spec.period_ms + phase
+        };
+
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for (c, spec) in sc.cohorts.iter().enumerate() {
+            if spec.devices == 0 || spec.windows_per_device == 0 {
+                continue;
+            }
+            for b in 0..bucket_count[c] {
+                q.schedule(emit_time(c, b, 0), Ev::Emit { cohort: c as u32, bucket: b });
+            }
+        }
+        if sc.max_trace_samples > 0 {
+            q.schedule(0.0, Ev::Trace);
+        }
+
+        // --- Mutable run state -----------------------------------------
+        let mut busy_until = vec![0.0f64; total_devices as usize];
+        let mut local_inflight: usize = 0;
+        let mut next_seq: u64 = 0;
+        let mut emitted: u64 = 0;
+        let mut events: u64 = 0;
+        let mut depth_scratch = vec![0usize; k];
+        let mut link_scratch = vec![0usize; k];
+        let mut done_buf: Vec<JobRec> = Vec::with_capacity(sc.batch_max.max(16));
+        let mut trace: Vec<TraceSample> = Vec::new();
+
+        let exec0 = layers[0].exec_ms;
+
+        // --- Event loop ------------------------------------------------
+        // Horizon = time of the last *activity* event; a trailing Trace
+        // tick must not stretch the utilization denominators.
+        let mut last_activity_ms = 0.0f64;
+        while let Some((now, ev)) = q.pop() {
+            events += 1;
+            if !matches!(ev, Ev::Trace) {
+                last_activity_ms = now;
+            }
+            match ev {
+                Ev::Emit { cohort, bucket } => {
+                    let c = cohort as usize;
+                    for (l, layer) in layers.iter().enumerate() {
+                        depth_scratch[l] = match &layer.stage {
+                            Some(Stage::Fifo(f)) => f.depth(),
+                            Some(Stage::Ps(ps)) => ps.inflight(),
+                            None => local_inflight,
+                        };
+                        link_scratch[l] = layer.link.as_ref().map_or(0, |(ps, _)| ps.inflight());
+                    }
+                    let (lo, hi) = bucket_range(c, bucket);
+                    for local in lo..hi {
+                        let device = bases[c] + local;
+                        let seq = next_seq;
+                        next_seq += 1;
+                        emitted += 1;
+                        let ctx = RouteCtx {
+                            device,
+                            seq,
+                            cohort,
+                            now_ms: now,
+                            queue_depth: &depth_scratch,
+                            link_inflight: &link_scratch,
+                        };
+                        let target = router(&ctx);
+                        assert!(target < k, "router chose layer {target} of {k}");
+                        let layer = &mut layers[target];
+                        layer.offered += 1;
+                        if target == 0 {
+                            // Dedicated per-device server: the device's own
+                            // backlog is the queue.
+                            let d = device as usize;
+                            let start = busy_until[d].max(now);
+                            if start - now > sc.local_backlog_ms {
+                                layer.dropped_queue += 1;
+                                observer(&JobEvent::Dropped {
+                                    seq,
+                                    device,
+                                    layer: 0,
+                                    reason: DropReason::QueueFull,
+                                });
+                            } else {
+                                let finish = start + exec0;
+                                busy_until[d] = finish;
+                                layer.busy_ms += exec0;
+                                layer.served += 1;
+                                let latency = finish - now;
+                                layer.latency.record(latency);
+                                local_inflight += 1;
+                                q.schedule(finish, Ev::LocalDone);
+                                observer(&JobEvent::Served {
+                                    seq,
+                                    device,
+                                    layer: 0,
+                                    latency_ms: latency,
+                                });
+                            }
+                        } else {
+                            let job = JobRec { emit_ms: now, seq, device };
+                            match &mut layer.link {
+                                Some((ps, ser_ms)) => {
+                                    let work = *ser_ms;
+                                    if ps.offer(now, work, job) {
+                                        layer.link_work_ms += work;
+                                        let t =
+                                            ps.next_completion_ms().expect("just offered").max(now);
+                                        q.schedule(
+                                            t,
+                                            Ev::LinkDone { layer: target as u8, epoch: ps.epoch },
+                                        );
+                                    } else {
+                                        layer.dropped_link += 1;
+                                        observer(&JobEvent::Dropped {
+                                            seq,
+                                            device,
+                                            layer: target,
+                                            reason: DropReason::LinkSaturated,
+                                        });
+                                    }
+                                }
+                                None => {
+                                    let arrive = now + layer.prop_ms;
+                                    q.schedule(
+                                        arrive,
+                                        Ev::ComputeArrive { layer: target as u8, job },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let tick = ticks[c][bucket as usize] + 1;
+                    ticks[c][bucket as usize] = tick;
+                    if tick < sc.cohorts[c].windows_per_device {
+                        q.schedule(emit_time(c, bucket, tick), Ev::Emit { cohort, bucket });
+                    }
+                }
+
+                Ev::LinkDone { layer, epoch } => {
+                    let l = layer as usize;
+                    let lay = &mut layers[l];
+                    let prop = lay.prop_ms;
+                    let (ps, _) = lay.link.as_mut().expect("LinkDone on uncapped link");
+                    if epoch != ps.epoch {
+                        continue; // superseded by a later arrival/completion
+                    }
+                    done_buf.clear();
+                    ps.pop_due_into(now, &mut done_buf);
+                    if let Some(t) = ps.next_completion_ms() {
+                        q.schedule(t.max(now), Ev::LinkDone { layer, epoch: ps.epoch });
+                    }
+                    for job in done_buf.drain(..) {
+                        q.schedule(now + prop, Ev::ComputeArrive { layer, job });
+                    }
+                }
+
+                Ev::ComputeArrive { layer, job } => {
+                    let l = layer as usize;
+                    let lay = &mut layers[l];
+                    let exec = lay.exec_ms;
+                    match lay.stage.as_mut().expect("compute on shared layer") {
+                        Stage::Fifo(queue) => {
+                            if queue.offer(job) {
+                                while let Some((slot, dur)) = queue.dispatch(exec) {
+                                    lay.busy_ms += dur;
+                                    q.schedule(
+                                        now + dur,
+                                        Ev::ComputeDone { layer, slot: slot as u32 },
+                                    );
+                                }
+                            } else {
+                                lay.dropped_queue += 1;
+                                observer(&JobEvent::Dropped {
+                                    seq: job.seq,
+                                    device: job.device,
+                                    layer: l,
+                                    reason: DropReason::QueueFull,
+                                });
+                            }
+                        }
+                        Stage::Ps(ps) => {
+                            if ps.offer(now, exec, job) {
+                                let t = ps.next_completion_ms().expect("just offered").max(now);
+                                q.schedule(t, Ev::PsComputeDone { layer, epoch: ps.epoch });
+                            } else {
+                                lay.dropped_queue += 1;
+                                observer(&JobEvent::Dropped {
+                                    seq: job.seq,
+                                    device: job.device,
+                                    layer: l,
+                                    reason: DropReason::QueueFull,
+                                });
+                            }
+                        }
+                    }
+                }
+
+                Ev::ComputeDone { layer, slot } => {
+                    let l = layer as usize;
+                    let lay = &mut layers[l];
+                    let prop = lay.prop_ms;
+                    let exec = lay.exec_ms;
+                    done_buf.clear();
+                    let Some(Stage::Fifo(queue)) = lay.stage.as_mut() else {
+                        unreachable!("ComputeDone on a non-FIFO layer");
+                    };
+                    queue.complete_into(slot as usize, &mut done_buf);
+                    for job in done_buf.drain(..) {
+                        let latency = now + prop - job.emit_ms;
+                        lay.served += 1;
+                        lay.latency.record(latency);
+                        observer(&JobEvent::Served {
+                            seq: job.seq,
+                            device: job.device,
+                            layer: l,
+                            latency_ms: latency,
+                        });
+                    }
+                    while let Some((slot, dur)) = queue.dispatch(exec) {
+                        lay.busy_ms += dur;
+                        q.schedule(now + dur, Ev::ComputeDone { layer, slot: slot as u32 });
+                    }
+                }
+
+                Ev::PsComputeDone { layer, epoch } => {
+                    let l = layer as usize;
+                    let lay = &mut layers[l];
+                    let prop = lay.prop_ms;
+                    let exec = lay.exec_ms;
+                    let Some(Stage::Ps(ps)) = lay.stage.as_mut() else {
+                        unreachable!("PsComputeDone on a non-PS layer");
+                    };
+                    if epoch != ps.epoch {
+                        continue;
+                    }
+                    done_buf.clear();
+                    ps.pop_due_into(now, &mut done_buf);
+                    if let Some(t) = ps.next_completion_ms() {
+                        q.schedule(t.max(now), Ev::PsComputeDone { layer, epoch: ps.epoch });
+                    }
+                    for job in done_buf.drain(..) {
+                        let latency = now + prop - job.emit_ms;
+                        lay.served += 1;
+                        lay.busy_ms += exec;
+                        lay.latency.record(latency);
+                        observer(&JobEvent::Served {
+                            seq: job.seq,
+                            device: job.device,
+                            layer: l,
+                            latency_ms: latency,
+                        });
+                    }
+                }
+
+                Ev::LocalDone => {
+                    local_inflight -= 1;
+                }
+
+                Ev::Trace => {
+                    let sample = TraceSample {
+                        t_ms: now,
+                        queue_depth: layers
+                            .iter()
+                            .map(|layer| match &layer.stage {
+                                Some(Stage::Fifo(f)) => f.depth(),
+                                Some(Stage::Ps(ps)) => ps.inflight(),
+                                None => local_inflight,
+                            })
+                            .collect(),
+                        link_inflight: layers
+                            .iter()
+                            .map(|layer| layer.link.as_ref().map_or(0, |(ps, _)| ps.inflight()))
+                            .collect(),
+                    };
+                    trace.push(sample);
+                    if trace.len() < sc.max_trace_samples && q.peek_time_ms().is_some() {
+                        q.schedule_in(sc.trace_interval_ms, Ev::Trace);
+                    }
+                }
+            }
+        }
+
+        // --- Report ----------------------------------------------------
+        let horizon = last_activity_ms.max(1e-9);
+        let mut overall = LatencyHist::new();
+        let mut served = 0u64;
+        let mut dropped = 0u64;
+        let summaries: Vec<LayerSummary> = layers
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| {
+                let servers = if l == 0 {
+                    total_devices.max(1) as f64
+                } else {
+                    topo.layers()[l].device.concurrency.max(1) as f64
+                };
+                served += layer.served;
+                dropped += layer.dropped_queue + layer.dropped_link;
+                overall.merge(&layer.latency);
+                LayerSummary {
+                    layer: l,
+                    name: topo.layers()[l].device.name.clone(),
+                    offered: layer.offered,
+                    served: layer.served,
+                    dropped_queue: layer.dropped_queue,
+                    dropped_link: layer.dropped_link,
+                    drop_rate: if layer.offered == 0 {
+                        0.0
+                    } else {
+                        (layer.dropped_queue + layer.dropped_link) as f64 / layer.offered as f64
+                    },
+                    utilization: layer.busy_ms / (servers * horizon),
+                    link_utilization: layer.link.as_ref().map(|_| layer.link_work_ms / horizon),
+                    peak_queue_depth: match &layer.stage {
+                        Some(Stage::Fifo(f)) => f.peak_depth,
+                        Some(Stage::Ps(ps)) => ps.peak_inflight,
+                        None => 0,
+                    },
+                    peak_link_inflight: layer.link.as_ref().map_or(0, |(ps, _)| ps.peak_inflight),
+                    mean_ms: layer.latency.mean(),
+                    p50_ms: layer.latency.quantile(0.50),
+                    p99_ms: layer.latency.quantile(0.99),
+                    max_ms: layer.latency.max(),
+                }
+            })
+            .collect();
+
+        FleetReport {
+            scenario: sc.name.clone(),
+            horizon_ms: last_activity_ms,
+            events,
+            emitted,
+            served,
+            dropped,
+            layers: summaries,
+            overall_mean_ms: overall.mean(),
+            overall_p50_ms: overall.quantile(0.50),
+            overall_p99_ms: overall.quantile(0.99),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::scenario::{CohortSpec, FleetScale, RoutePlan};
+
+    /// A tiny scenario: `devices` devices, `windows` windows each, one
+    /// window per `period_ms`, all routed by `route`.
+    fn tiny(devices: u32, windows: u32, period_ms: f64, route: RoutePlan) -> FleetScenario {
+        let mut sc = FleetScenario::light_load(FleetScale::Quick);
+        sc.name = "tiny".into();
+        sc.cohorts = vec![CohortSpec {
+            devices,
+            windows_per_device: windows,
+            period_ms,
+            start_ms: 0.0,
+            route,
+        }];
+        sc
+    }
+
+    #[test]
+    fn unloaded_cloud_latency_matches_table2() {
+        // One device, slow emission, always-cloud: no queueing anywhere,
+        // so every window costs exactly 500 ms RTT + 4.5 ms exec.
+        let sc = tiny(1, 5, 10_000.0, RoutePlan::Fixed(2));
+        let report = FleetSim::new(&sc).run();
+        assert_eq!(report.served, 5);
+        assert_eq!(report.dropped, 0);
+        assert!((report.layers[2].mean_ms - 504.5).abs() < 1e-9, "{}", report.layers[2].mean_ms);
+        assert!((report.layers[2].max_ms - 504.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unloaded_iot_latency_matches_table2() {
+        let sc = tiny(3, 4, 10_000.0, RoutePlan::Fixed(0));
+        let report = FleetSim::new(&sc).run();
+        assert_eq!(report.served, 12);
+        assert!((report.layers[0].mean_ms - 12.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_makes_latency_load_dependent() {
+        // 200 devices fire a window every 2 ms at the edge (100k/s) —
+        // far beyond the TX2's ~540/s: queueing must push p99 well above
+        // the unloaded 257.4 ms, and the bounded queue must shed load.
+        let mut sc = tiny(200, 20, 2.0, RoutePlan::Fixed(1));
+        sc.batch_max = 1;
+        sc.queue_capacity = 100;
+        let report = FleetSim::new(&sc).run();
+        let edge = &report.layers[1];
+        assert!(edge.dropped_queue > 0, "bounded queue never shed load");
+        assert!(edge.p99_ms > 400.0, "p99 {} not load-dependent", edge.p99_ms);
+        assert!(edge.utilization > 0.5, "util {}", edge.utilization);
+        assert!(edge.peak_queue_depth == 100, "peak {}", edge.peak_queue_depth);
+    }
+
+    #[test]
+    fn bandwidth_capped_link_contends() {
+        // 50 devices upload simultaneously over a 1 Mbit/s cloud link:
+        // 384 B = 3.072 ms alone, ~×50 when fully shared.
+        let mut sc = tiny(50, 4, 1000.0, RoutePlan::Fixed(2));
+        sc.cloud_bandwidth_mbps = Some(1.0);
+        sc.emit_buckets = 1; // all devices in one bucket → simultaneous
+        let report = FleetSim::new(&sc).run();
+        let cloud = &report.layers[2];
+        assert_eq!(cloud.served, 200);
+        assert!(cloud.peak_link_inflight >= 50, "peak {}", cloud.peak_link_inflight);
+        // Last transfer of a 50-share round: ≈ 50 × 3.072 = 153.6 ms of
+        // serialisation on top of the 504.5 ms floor.
+        assert!(cloud.max_ms > 504.5 + 100.0, "max {}", cloud.max_ms);
+        assert!(cloud.link_utilization.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn link_admission_bound_drops() {
+        let mut sc = tiny(50, 2, 1000.0, RoutePlan::Fixed(2));
+        sc.cloud_bandwidth_mbps = Some(0.5);
+        sc.link_max_inflight = 10;
+        sc.emit_buckets = 1;
+        let report = FleetSim::new(&sc).run();
+        assert!(report.layers[2].dropped_link > 0, "admission bound never tripped");
+        assert_eq!(report.served + report.dropped, report.emitted);
+    }
+
+    #[test]
+    fn local_backlog_bound_drops() {
+        // One device emitting every 1 ms but needing 12.4 ms per window
+        // locally: the backlog crosses 50 ms and subsequent windows drop.
+        let mut sc = tiny(1, 100, 1.0, RoutePlan::Fixed(0));
+        sc.local_backlog_ms = 50.0;
+        let report = FleetSim::new(&sc).run();
+        assert!(report.layers[0].dropped_queue > 0);
+        assert!(report.layers[0].served > 0);
+        assert_eq!(report.served + report.dropped, report.emitted);
+    }
+
+    #[test]
+    fn processor_sharing_discipline_serves_everything() {
+        let mut sc = tiny(100, 5, 10.0, RoutePlan::Fixed(1));
+        sc.discipline = Discipline::ProcessorSharing;
+        sc.queue_capacity = 10_000;
+        let report = FleetSim::new(&sc).run();
+        let edge = &report.layers[1];
+        assert_eq!(edge.served, 500);
+        // Overloaded PS stretches latencies beyond the unloaded value.
+        assert!(edge.p99_ms > 257.43, "p99 {}", edge.p99_ms);
+    }
+
+    #[test]
+    fn conservation_emitted_equals_served_plus_dropped() {
+        for name in FleetScenario::NAMES {
+            let sc = FleetScenario::by_name(name, FleetScale::Quick).unwrap();
+            let report = FleetSim::new(&sc).run();
+            assert_eq!(report.emitted, sc.total_windows(), "{name}");
+            assert_eq!(report.served + report.dropped, report.emitted, "{name}");
+        }
+    }
+
+    #[test]
+    fn reruns_are_identical() {
+        let sc = FleetScenario::flash_crowd(FleetScale::Quick);
+        let a = FleetSim::new(&sc).run();
+        let b = FleetSim::new(&sc).run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_text(), b.to_text());
+    }
+
+    #[test]
+    fn observer_sees_every_window() {
+        let sc = tiny(10, 10, 5.0, RoutePlan::Mixture([0.4, 0.3, 0.3]));
+        let mut served = 0u64;
+        let mut dropped = 0u64;
+        let mut router = |ctx: &RouteCtx| (ctx.seq % 3) as usize;
+        let report = FleetSim::new(&sc).run_with(&mut router, &mut |ev| match ev {
+            JobEvent::Served { .. } => served += 1,
+            JobEvent::Dropped { .. } => dropped += 1,
+        });
+        assert_eq!(served, report.served);
+        assert_eq!(dropped, report.dropped);
+        assert_eq!(served + dropped, 100);
+    }
+
+    #[test]
+    fn trace_samples_cover_the_run() {
+        let sc = tiny(20, 10, 10.0, RoutePlan::Fixed(1));
+        let report = FleetSim::new(&sc).run();
+        assert!(!report.trace.is_empty());
+        assert!(report.trace.windows(2).all(|w| w[0].t_ms < w[1].t_ms));
+    }
+
+    #[test]
+    #[should_panic(expected = "router chose layer 9")]
+    fn out_of_range_route_panics() {
+        let sc = tiny(1, 1, 10.0, RoutePlan::Fixed(0));
+        let mut router = |_: &RouteCtx<'_>| 9usize;
+        let _ = FleetSim::new(&sc).run_with(&mut router, &mut |_| {});
+    }
+}

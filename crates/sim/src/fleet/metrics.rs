@@ -1,0 +1,396 @@
+//! Metrics for fleet simulations: latency histograms, per-layer summaries
+//! and the scenario report (text + CSV renderings).
+
+use std::fmt::Write as _;
+
+/// Geometric-bin latency histogram.
+///
+/// Bin `i` covers latencies with `ln(1 + ms) ∈ [i/R, (i+1)/R)` at
+/// resolution `R =` [`LatencyHist::BINS_PER_LN`], giving ~1.6 % relative
+/// quantile error in O(1) memory however many samples stream in. The mean
+/// is exact (tracked as a running sum); quantiles return the geometric
+/// midpoint of the selected bin. Everything is deterministic: identical
+/// sample sequences produce identical histograms and quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHist {
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        // A derived Default would start `min` at 0.0 instead of +∞ and
+        // silently skew the quantile clamp — route through `new`.
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Bins per natural-log unit (relative resolution `e^(1/R) − 1`).
+    pub const BINS_PER_LN: f64 = 64.0;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { bins: Vec::new(), count: 0, sum: 0.0, min: f64::INFINITY, max: 0.0 }
+    }
+
+    fn bin_of(ms: f64) -> usize {
+        ((1.0 + ms.max(0.0)).ln() * Self::BINS_PER_LN) as usize
+    }
+
+    /// Records one latency sample (ms; negatives clamp to zero).
+    pub fn record(&mut self, ms: f64) {
+        let idx = Self::bin_of(ms);
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+        self.count += 1;
+        self.sum += ms.max(0.0);
+        self.min = self.min.min(ms.max(0.0));
+        self.max = self.max.max(ms);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` (geometric midpoint of the bin
+    /// holding the q-th sample; 0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let lo = (idx as f64 / Self::BINS_PER_LN).exp() - 1.0;
+                let hi = ((idx + 1) as f64 / Self::BINS_PER_LN).exp() - 1.0;
+                // Geometric midpoint in (1+ms) space, clamped to observed
+                // extremes so p100 never exceeds the true max.
+                let mid = ((1.0 + lo) * (1.0 + hi)).sqrt() - 1.0;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (b, &n) in self.bins.iter_mut().zip(&other.bins) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Why a window was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The layer's waiting line (or the device's local backlog) was full.
+    QueueFull,
+    /// The uplink's admission bound was reached.
+    LinkSaturated,
+}
+
+/// Aggregate statistics for one layer of the hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSummary {
+    /// Layer index (0 = IoT).
+    pub layer: usize,
+    /// Device name at this layer.
+    pub name: String,
+    /// Windows routed to this layer.
+    pub offered: u64,
+    /// Windows served to completion.
+    pub served: u64,
+    /// Windows dropped at the compute queue (or device backlog).
+    pub dropped_queue: u64,
+    /// Windows dropped at the uplink admission bound.
+    pub dropped_link: u64,
+    /// Fraction of offered windows dropped (0 when nothing was offered).
+    pub drop_rate: f64,
+    /// Busy-server-time over `servers × horizon`.
+    pub utilization: f64,
+    /// Admitted bits over link capacity × horizon (`None` for the local
+    /// layer and for delay-only links, which cannot saturate).
+    pub link_utilization: Option<f64>,
+    /// Largest waiting-line depth observed.
+    pub peak_queue_depth: usize,
+    /// Largest concurrent uplink transfer count observed.
+    pub peak_link_inflight: usize,
+    /// End-to-end latency of served windows.
+    pub mean_ms: f64,
+    /// Median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Worst served latency, ms.
+    pub max_ms: f64,
+}
+
+/// One queue-depth trace sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSample {
+    /// Virtual time of the sample, ms.
+    pub t_ms: f64,
+    /// Per-layer waiting/in-flight compute jobs (layer 0: device-local
+    /// windows executing or backlogged).
+    pub queue_depth: Vec<usize>,
+    /// Per-layer concurrent uplink transfers (always 0 for layer 0).
+    pub link_inflight: Vec<usize>,
+}
+
+/// The result of one fleet-scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Virtual time of the last activity, ms.
+    pub horizon_ms: f64,
+    /// Discrete events processed by the engine.
+    pub events: u64,
+    /// Windows emitted by the fleet.
+    pub emitted: u64,
+    /// Windows served to completion.
+    pub served: u64,
+    /// Windows dropped (queue + link, all layers).
+    pub dropped: u64,
+    /// Per-layer summaries, bottom-up.
+    pub layers: Vec<LayerSummary>,
+    /// Latency over all served windows, mean ms.
+    pub overall_mean_ms: f64,
+    /// Latency over all served windows, p50 ms.
+    pub overall_p50_ms: f64,
+    /// Latency over all served windows, p99 ms.
+    pub overall_p99_ms: f64,
+    /// Periodic queue-depth samples.
+    pub trace: Vec<TraceSample>,
+}
+
+impl FleetReport {
+    /// Renders the report as a fixed-format text block (byte-stable for a
+    /// given simulation outcome, so reruns can be `diff`ed).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario {}: {} emitted, {} served, {} dropped over {:.1} ms virtual ({} events)",
+            self.scenario, self.emitted, self.served, self.dropped, self.horizon_ms, self.events
+        );
+        let _ = writeln!(
+            out,
+            "  overall latency: mean={:.2} ms  p50={:.2} ms  p99={:.2} ms",
+            self.overall_mean_ms, self.overall_p50_ms, self.overall_p99_ms
+        );
+        for l in &self.layers {
+            let link = match l.link_utilization {
+                Some(u) => format!("  link_util={:.3} peak_inflight={}", u, l.peak_link_inflight),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  L{} {:<18} offered={:<9} served={:<9} drop_rate={:.4} util={:.3} \
+                 peak_q={:<6} mean={:.2} p50={:.2} p99={:.2} max={:.2} ms{}",
+                l.layer,
+                l.name,
+                l.offered,
+                l.served,
+                l.drop_rate,
+                l.utilization,
+                l.peak_queue_depth,
+                l.mean_ms,
+                l.p50_ms,
+                l.p99_ms,
+                l.max_ms,
+                link
+            );
+        }
+        out
+    }
+
+    /// Per-layer results as CSV (vendored serde derives are no-ops, so the
+    /// rows are emitted manually).
+    pub fn layers_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,layer,name,offered,served,dropped_queue,dropped_link,drop_rate,\
+             utilization,link_utilization,peak_queue_depth,peak_link_inflight,\
+             mean_ms,p50_ms,p99_ms,max_ms\n",
+        );
+        for l in &self.layers {
+            let link_util =
+                l.link_utilization.map(|u| format!("{u:.6}")).unwrap_or_else(|| "".into());
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{:.3},{:.3},{:.3}",
+                self.scenario,
+                l.layer,
+                l.name,
+                l.offered,
+                l.served,
+                l.dropped_queue,
+                l.dropped_link,
+                l.drop_rate,
+                l.utilization,
+                link_util,
+                l.peak_queue_depth,
+                l.peak_link_inflight,
+                l.mean_ms,
+                l.p50_ms,
+                l.p99_ms,
+                l.max_ms
+            );
+        }
+        out
+    }
+
+    /// Queue-depth trace as CSV: one row per sample, one depth and one
+    /// in-flight column per layer.
+    pub fn trace_csv(&self) -> String {
+        let layers = self.layers.len();
+        let mut out = String::from("t_ms");
+        for l in 0..layers {
+            let _ = write!(out, ",q{l}");
+        }
+        for l in 0..layers {
+            let _ = write!(out, ",link{l}");
+        }
+        out.push('\n');
+        for s in &self.trace {
+            let _ = write!(out, "{:.3}", s.t_ms);
+            for l in 0..layers {
+                let _ = write!(out, ",{}", s.queue_depth.get(l).copied().unwrap_or(0));
+            }
+            for l in 0..layers {
+                let _ = write!(out, ",{}", s.link_inflight.get(l).copied().unwrap_or(0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_mean_is_exact() {
+        let mut h = LatencyHist::new();
+        for ms in [10.0, 20.0, 30.0] {
+            h.record(ms);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 30.0);
+    }
+
+    #[test]
+    fn hist_quantiles_are_close() {
+        let mut h = LatencyHist::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.03, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.03, "p99 {p99}");
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn hist_empty_is_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn hist_merge_matches_combined() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut all = LatencyHist::new();
+        for i in 0..100 {
+            let ms = (i * 7 % 100) as f64 + 0.5;
+            if i % 2 == 0 {
+                a.record(ms);
+            } else {
+                b.record(ms);
+            }
+            all.record(ms);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    fn report() -> FleetReport {
+        FleetReport {
+            scenario: "unit".into(),
+            horizon_ms: 1000.0,
+            events: 10,
+            emitted: 5,
+            served: 4,
+            dropped: 1,
+            layers: vec![LayerSummary {
+                layer: 0,
+                name: "Pi".into(),
+                offered: 5,
+                served: 4,
+                dropped_queue: 1,
+                dropped_link: 0,
+                drop_rate: 0.2,
+                utilization: 0.5,
+                link_utilization: None,
+                peak_queue_depth: 3,
+                peak_link_inflight: 0,
+                mean_ms: 12.4,
+                p50_ms: 12.0,
+                p99_ms: 13.0,
+                max_ms: 14.0,
+            }],
+            overall_mean_ms: 12.4,
+            overall_p50_ms: 12.0,
+            overall_p99_ms: 13.0,
+            trace: vec![TraceSample { t_ms: 0.0, queue_depth: vec![2], link_inflight: vec![0] }],
+        }
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let r = report();
+        assert_eq!(r.to_text(), r.to_text());
+        assert!(r.to_text().contains("drop_rate=0.2000"));
+        let csv = r.layers_csv();
+        assert!(csv.starts_with("scenario,layer"));
+        assert_eq!(csv.lines().count(), 2);
+        let trace = r.trace_csv();
+        assert_eq!(trace.lines().next().unwrap(), "t_ms,q0,link0");
+        assert_eq!(trace.lines().count(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Discrete-event fleet simulation: stream millions of windows from a
+//! device fleet through the 3-layer HEC hierarchy.
+//!
+//! The per-job [`crate::runtime`] models a *single* device and charges
+//! each window the load-independent [`HecTopology::end_to_end_ms`]
+//! delay, so offloading never queues and links never saturate. This
+//! module scales the testbed out: **N** IoT devices (hundreds of
+//! thousands and up) emit windows at configurable rates into per-layer
+//! service queues and bandwidth-shared links, making detection delay
+//! load-dependent — the quantity the paper's adaptive scheme actually
+//! trades off against accuracy.
+//!
+//! * [`queueing`] — contention primitives: bounded multi-server FIFO
+//!   with batch dequeue, egalitarian processor sharing (credit-based,
+//!   O(log n) per event);
+//! * [`scenario`] — named workloads at two scales (`light_load`,
+//!   `edge_saturated`, `cloud_link_constrained`, `flash_crowd`);
+//! * [`des`] — the virtual-clock engine on [`crate::EventQueue`];
+//! * [`metrics`] — latency histograms, per-layer utilization/drop
+//!   summaries, queue traces, CSV renderings.
+//!
+//! Determinism is a hard invariant: the engine is single-threaded over a
+//! totally-ordered event heap, all randomness is seeded hashing, and the
+//! same scenario + seed produce byte-identical reports on any host and
+//! under any `HEC_THREADS` setting.
+//!
+//! [`HecTopology`]: crate::HecTopology
+
+pub mod des;
+pub mod metrics;
+pub mod queueing;
+pub mod scenario;
+
+pub use des::{FleetSim, JobEvent, RouteCtx};
+pub use metrics::{DropReason, FleetReport, LatencyHist, LayerSummary, TraceSample};
+pub use queueing::{FifoQueue, JobRec, PsResource};
+pub use scenario::{CohortSpec, Discipline, FleetScale, FleetScenario, RoutePlan};

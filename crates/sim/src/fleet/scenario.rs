@@ -1,0 +1,365 @@
+//! Named fleet scenarios: device cohorts, emission rates, routing plans
+//! and queue/link bounds.
+//!
+//! Each scenario exists at two scales selected by [`FleetScale`]:
+//! **Full** (hundreds of thousands of devices, ≥1M windows — the numbers
+//! recorded in EXPERIMENTS.md) and **Quick** (the same *rates*, so the
+//! same saturation behaviour, with 1/50 the devices and virtual horizon —
+//! used by CI smoke jobs and tests). Scaling devices and period together
+//! preserves every offered-load ratio, so Quick runs exhibit the same
+//! qualitative queueing as Full runs.
+
+use crate::topology::{DatasetKind, HecTopology};
+
+/// How a cohort's windows choose their execution layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutePlan {
+    /// Every window executes at this layer.
+    Fixed(usize),
+    /// Windows split across layers 0..3 with these weights (normalised),
+    /// chosen by a deterministic per-window hash — a stand-in for a
+    /// trained policy's action distribution.
+    Mixture([f64; 3]),
+}
+
+impl RoutePlan {
+    /// The layer for window `seq` under this plan (deterministic).
+    pub fn layer_for(&self, seed: u64, seq: u64) -> usize {
+        match *self {
+            RoutePlan::Fixed(layer) => layer,
+            RoutePlan::Mixture(weights) => {
+                let total: f64 = weights.iter().sum();
+                let u = splitmix64(seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as f64
+                    / u64::MAX as f64;
+                let mut acc = 0.0;
+                for (i, w) in weights.iter().enumerate() {
+                    acc += w / total;
+                    if u < acc {
+                        return i;
+                    }
+                }
+                weights.len() - 1
+            }
+        }
+    }
+}
+
+/// SplitMix64 finaliser — a stateless deterministic hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A homogeneous group of devices emitting on a shared schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortSpec {
+    /// Devices in the cohort.
+    pub devices: u32,
+    /// Windows each device emits.
+    pub windows_per_device: u32,
+    /// Per-device emission period, ms.
+    pub period_ms: f64,
+    /// Virtual time the cohort starts emitting, ms.
+    pub start_ms: f64,
+    /// Routing plan for the cohort's windows.
+    pub route: RoutePlan,
+}
+
+impl CohortSpec {
+    /// Total windows this cohort emits.
+    pub fn total_windows(&self) -> u64 {
+        self.devices as u64 * self.windows_per_device as u64
+    }
+}
+
+/// Scenario scale (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetScale {
+    /// 1/50-size fleet and horizon at identical rates: CI and tests.
+    Quick,
+    /// ≥100k devices, ≥1M windows: the recorded runs.
+    Full,
+}
+
+impl FleetScale {
+    /// Fleet-size and virtual-time divisor relative to [`FleetScale::
+    /// Full`]. Dividing device counts *and* periods/start times by this
+    /// preserves every offered-load rate, so Quick runs keep Full's
+    /// saturation behaviour. Custom scenarios (e.g. the closed-loop
+    /// scheme stream) must use this same divisor to stay calibrated.
+    pub fn divisor(self) -> f64 {
+        match self {
+            FleetScale::Full => 1.0,
+            FleetScale::Quick => 50.0,
+        }
+    }
+}
+
+/// Compute-layer queueing discipline for the shared layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Bounded multi-server FIFO with batch dequeue.
+    Fifo,
+    /// Egalitarian processor sharing across admitted jobs.
+    ProcessorSharing,
+}
+
+/// A complete fleet-simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    /// Scenario name (used in reports and CSV rows).
+    pub name: String,
+    /// Dataset family (sets execution times and default payloads).
+    pub kind: DatasetKind,
+    /// Bytes uploaded per window.
+    pub payload_bytes: usize,
+    /// Device cohorts (device ids are assigned contiguously in order).
+    pub cohorts: Vec<CohortSpec>,
+    /// Emission batching granularity: each cohort's devices are spread
+    /// over this many phase buckets per period, and one event emits a
+    /// whole bucket — the hot path schedules O(buckets) events per
+    /// period instead of O(devices).
+    pub emit_buckets: u32,
+    /// Waiting-line bound per shared compute layer.
+    pub queue_capacity: usize,
+    /// Jobs a freed server dequeues together.
+    pub batch_max: usize,
+    /// Marginal batch cost (0 = free tag-alongs, 1 = no amortisation).
+    pub batch_factor: f64,
+    /// Admission bound on concurrent transfers per bandwidth-capped link.
+    pub link_max_inflight: usize,
+    /// A device drops a local window when its backlog exceeds this, ms.
+    pub local_backlog_ms: f64,
+    /// Shared-layer queueing discipline.
+    pub discipline: Discipline,
+    /// Override the edge uplink with a bandwidth cap, Mbit/s.
+    pub edge_bandwidth_mbps: Option<f64>,
+    /// Override the cloud uplink with a bandwidth cap, Mbit/s.
+    pub cloud_bandwidth_mbps: Option<f64>,
+    /// Queue-depth sampling interval, ms.
+    pub trace_interval_ms: f64,
+    /// Trace sample cap (sampling stops after this many).
+    pub max_trace_samples: usize,
+    /// Seed mixed into the routing hash.
+    pub seed: u64,
+}
+
+impl FleetScenario {
+    /// The four named scenarios, in presentation order.
+    pub const NAMES: [&'static str; 4] =
+        ["light_load", "edge_saturated", "cloud_link_constrained", "flash_crowd"];
+
+    /// Looks a named scenario up (see [`FleetScenario::NAMES`]).
+    pub fn by_name(name: &str, scale: FleetScale) -> Option<Self> {
+        match name {
+            "light_load" => Some(Self::light_load(scale)),
+            "edge_saturated" => Some(Self::edge_saturated(scale)),
+            "cloud_link_constrained" => Some(Self::cloud_link_constrained(scale)),
+            "flash_crowd" => Some(Self::flash_crowd(scale)),
+            _ => None,
+        }
+    }
+
+    fn base(name: &str, scale: FleetScale) -> Self {
+        Self {
+            name: name.into(),
+            kind: DatasetKind::Univariate,
+            payload_bytes: 384,
+            cohorts: Vec::new(),
+            emit_buckets: 256,
+            queue_capacity: 2000,
+            batch_max: 8,
+            batch_factor: 0.25,
+            link_max_inflight: 4096,
+            local_backlog_ms: 1000.0,
+            discipline: Discipline::Fifo,
+            edge_bandwidth_mbps: None,
+            cloud_bandwidth_mbps: None,
+            trace_interval_ms: match scale {
+                FleetScale::Full => 2000.0,
+                FleetScale::Quick => 50.0,
+            },
+            max_trace_samples: 2048,
+            seed: 42,
+        }
+    }
+
+    /// Divides fleet size and stretches of virtual time by the scale
+    /// factor, preserving all rates.
+    fn scale_div(scale: FleetScale) -> f64 {
+        scale.divisor()
+    }
+
+    /// **light_load** — 100k devices each emitting every 120 s, mostly
+    /// served locally. Every layer far below saturation: latencies sit at
+    /// the unloaded Table II values and nothing drops.
+    pub fn light_load(scale: FleetScale) -> Self {
+        let s = Self::scale_div(scale);
+        let mut sc = Self::base("light_load", scale);
+        sc.cohorts.push(CohortSpec {
+            devices: (100_000.0 / s) as u32,
+            windows_per_device: 10,
+            period_ms: 120_000.0 / s,
+            start_ms: 0.0,
+            route: RoutePlan::Mixture([0.80, 0.12, 0.08]),
+        });
+        sc
+    }
+
+    /// **edge_saturated** — the same fleet emitting twice as fast with
+    /// 90 % of windows offloaded to the edge: ~2.8× the TX2's service
+    /// capacity (no batching), so the edge queue fills, waits dominate
+    /// p99 and the admission bound sheds most of the offered load.
+    pub fn edge_saturated(scale: FleetScale) -> Self {
+        let s = Self::scale_div(scale);
+        let mut sc = Self::base("edge_saturated", scale);
+        sc.batch_max = 1; // serve one-at-a-time: capacity 4/7.4 ms ≈ 540/s
+        sc.cohorts.push(CohortSpec {
+            devices: (100_000.0 / s) as u32,
+            windows_per_device: 10,
+            period_ms: 60_000.0 / s,
+            start_ms: 0.0,
+            route: RoutePlan::Mixture([0.05, 0.90, 0.05]),
+        });
+        sc
+    }
+
+    /// **cloud_link_constrained** — 75 % of windows head for the cloud
+    /// over an uplink capped at 2 Mbit/s (~1.9× its capacity in offered
+    /// bits): transfers pile up in the shared link until the in-flight
+    /// bound sheds load, and cloud p99 is pure link contention (the
+    /// Devbox itself stays nearly idle).
+    pub fn cloud_link_constrained(scale: FleetScale) -> Self {
+        let s = Self::scale_div(scale);
+        let mut sc = Self::base("cloud_link_constrained", scale);
+        sc.cloud_bandwidth_mbps = Some(2.0);
+        sc.cohorts.push(CohortSpec {
+            devices: (100_000.0 / s) as u32,
+            windows_per_device: 10,
+            period_ms: 60_000.0 / s,
+            start_ms: 0.0,
+            route: RoutePlan::Mixture([0.15, 0.10, 0.75]),
+        });
+        sc
+    }
+
+    /// **flash_crowd** — a light steady fleet joined at t = 300 s by a
+    /// 60k-device burst emitting at 12× the steady per-device rate with
+    /// an edge-heavy routing mix: queues spike for the burst's duration
+    /// and drain afterwards, visible in the queue-depth trace.
+    pub fn flash_crowd(scale: FleetScale) -> Self {
+        let s = Self::scale_div(scale);
+        let mut sc = Self::base("flash_crowd", scale);
+        sc.batch_max = 4;
+        sc.batch_factor = 0.5;
+        sc.cohorts.push(CohortSpec {
+            devices: (50_000.0 / s) as u32,
+            windows_per_device: 10,
+            period_ms: 120_000.0 / s,
+            start_ms: 0.0,
+            route: RoutePlan::Mixture([0.70, 0.20, 0.10]),
+        });
+        sc.cohorts.push(CohortSpec {
+            devices: (60_000.0 / s) as u32,
+            windows_per_device: 10,
+            period_ms: 10_000.0 / s,
+            start_ms: 300_000.0 / s,
+            route: RoutePlan::Mixture([0.10, 0.60, 0.30]),
+        });
+        sc
+    }
+
+    /// Total devices across cohorts.
+    pub fn total_devices(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.devices as u64).sum()
+    }
+
+    /// Total windows the fleet emits.
+    pub fn total_windows(&self) -> u64 {
+        self.cohorts.iter().map(CohortSpec::total_windows).sum()
+    }
+
+    /// The topology this scenario runs on: the paper testbed for
+    /// [`FleetScenario::kind`] with any bandwidth overrides applied.
+    pub fn topology(&self) -> HecTopology {
+        let base = HecTopology::paper_testbed(self.kind);
+        let mut layers = base.layers().to_vec();
+        if let Some(mbps) = self.edge_bandwidth_mbps {
+            layers[1].uplink = layers[1].uplink.clone().with_bandwidth(mbps);
+        }
+        if let Some(mbps) = self.cloud_bandwidth_mbps {
+            layers[2].uplink = layers[2].uplink.clone().with_bandwidth(mbps);
+        }
+        HecTopology::new(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve_at_both_scales() {
+        for name in FleetScenario::NAMES {
+            for scale in [FleetScale::Quick, FleetScale::Full] {
+                let sc = FleetScenario::by_name(name, scale).expect("named scenario");
+                assert_eq!(sc.name, name);
+                assert!(sc.total_windows() > 0);
+            }
+        }
+        assert!(FleetScenario::by_name("nope", FleetScale::Quick).is_none());
+    }
+
+    #[test]
+    fn full_scale_meets_the_acceptance_floor() {
+        for name in FleetScenario::NAMES {
+            let sc = FleetScenario::by_name(name, FleetScale::Full).unwrap();
+            assert!(sc.total_devices() >= 100_000, "{name}: {} devices", sc.total_devices());
+            assert!(sc.total_windows() >= 1_000_000, "{name}: {} windows", sc.total_windows());
+        }
+    }
+
+    #[test]
+    fn quick_scale_preserves_rates() {
+        let full = FleetScenario::edge_saturated(FleetScale::Full);
+        let quick = FleetScenario::edge_saturated(FleetScale::Quick);
+        let rate = |sc: &FleetScenario| {
+            let c = &sc.cohorts[0];
+            c.devices as f64 / c.period_ms
+        };
+        assert!((rate(&full) - rate(&quick)).abs() / rate(&full) < 1e-9);
+        assert!(quick.total_windows() < full.total_windows() / 10);
+    }
+
+    #[test]
+    fn mixture_routing_is_deterministic_and_proportional() {
+        let plan = RoutePlan::Mixture([0.6, 0.3, 0.1]);
+        let mut counts = [0u32; 3];
+        for seq in 0..30_000u64 {
+            let a = plan.layer_for(42, seq);
+            assert_eq!(a, plan.layer_for(42, seq), "same window, same layer");
+            counts[a] += 1;
+        }
+        let frac = |i: usize| counts[i] as f64 / 30_000.0;
+        assert!((frac(0) - 0.6).abs() < 0.02, "{counts:?}");
+        assert!((frac(1) - 0.3).abs() < 0.02, "{counts:?}");
+        assert!((frac(2) - 0.1).abs() < 0.02, "{counts:?}");
+    }
+
+    #[test]
+    fn fixed_routing_always_picks_the_layer() {
+        let plan = RoutePlan::Fixed(2);
+        assert!((0..100).all(|seq| plan.layer_for(7, seq) == 2));
+    }
+
+    #[test]
+    fn bandwidth_overrides_apply_to_topology() {
+        let mut sc = FleetScenario::light_load(FleetScale::Quick);
+        sc.cloud_bandwidth_mbps = Some(5.0);
+        let topo = sc.topology();
+        assert_eq!(topo.layers()[2].uplink.bandwidth_mbps, Some(5.0));
+        assert_eq!(topo.layers()[1].uplink.bandwidth_mbps, None);
+    }
+}

@@ -18,19 +18,26 @@
 //! * [`runtime`] — a threaded message-passing runtime (crossbeam channels
 //!   standing in for the paper's keep-alive TCP sockets) that executes
 //!   detection jobs at a chosen layer and reports simulated end-to-end
-//!   delays.
+//!   delays;
+//! * [`fleet`] — a discrete-event *fleet* simulator: hundreds of
+//!   thousands of devices streaming millions of windows through
+//!   per-layer service queues and bandwidth-shared links, making
+//!   detection delay load-dependent (utilization, queue traces, drop
+//!   rates, p50/p99 latencies per scheme).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod device;
 pub mod event;
+pub mod fleet;
 pub mod network;
 pub mod runtime;
 pub mod topology;
 
 pub use device::{DeviceProfile, ExecTimeModel};
 pub use event::EventQueue;
+pub use fleet::{FleetReport, FleetScale, FleetScenario, FleetSim};
 pub use network::Link;
 pub use runtime::{DetectJob, HecRuntime, JobResult};
 pub use topology::{DatasetKind, HecTopology};

@@ -66,6 +66,7 @@ pub struct HecRuntime {
     result_rx: Receiver<JobResult>,
     handles: Vec<JoinHandle<()>>,
     layer_counts: Arc<Mutex<Vec<u64>>>,
+    num_layers: usize,
 }
 
 impl HecRuntime {
@@ -107,26 +108,39 @@ impl HecRuntime {
         }
         drop(result_tx);
 
-        // Router thread: forwards each job to its layer's worker.
+        // Router thread: forwards each job to its layer's worker. Layer
+        // bounds are validated in `submit` (the caller's thread), so an
+        // out-of-range job can never reach this loop.
+        let num_layers = worker_txs.len();
         let router = std::thread::spawn(move || {
             for job in submit_rx.iter() {
-                assert!(job.layer < worker_txs.len(), "job layer out of range");
                 let _ = worker_txs[job.layer].send(job);
             }
             // Dropping worker_txs closes the workers.
         });
         handles.push(router);
 
-        Self { submit_tx: Some(submit_tx), result_rx, handles, layer_counts }
+        Self { submit_tx: Some(submit_tx), result_rx, handles, layer_counts, num_layers }
     }
 
     /// Submits a job for execution.
     ///
     /// # Panics
     ///
-    /// Panics if called after [`HecRuntime::shutdown`] (the runtime is
+    /// Panics in the *caller's* context if `job.layer` is out of range —
+    /// validating here (rather than in the router thread) means a bad job
+    /// fails fast at the submission site instead of killing the router and
+    /// leaving `shutdown` to surface a confusing cross-thread error.
+    /// Also panics if called after [`HecRuntime::shutdown`] (the runtime is
     /// consumed by `shutdown`, so this cannot normally happen).
     pub fn submit(&self, job: DetectJob) {
+        assert!(
+            job.layer < self.num_layers,
+            "job {} targets layer {} but the topology has only {} layers",
+            job.id,
+            job.layer,
+            self.num_layers
+        );
         self.submit_tx
             .as_ref()
             .expect("runtime already shut down")
@@ -251,5 +265,21 @@ mod tests {
     fn executor_count_mismatch_panics() {
         let topo = HecTopology::paper_testbed(DatasetKind::Univariate);
         let _ = HecRuntime::spawn(topo, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets layer 7 but the topology has only 3 layers")]
+    fn out_of_range_layer_panics_in_submit() {
+        let rt = runtime();
+        rt.submit(DetectJob { id: 42, layer: 7, payload_bytes: 0 });
+    }
+
+    #[test]
+    fn valid_jobs_still_flow_after_validation() {
+        // The bounds check must not reject in-range layers, including the
+        // top one.
+        let rt = runtime();
+        rt.submit(DetectJob { id: 0, layer: 2, payload_bytes: 64 });
+        assert_eq!(rt.shutdown().len(), 1);
     }
 }

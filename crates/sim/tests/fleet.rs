@@ -1,0 +1,164 @@
+//! Integration and property tests for the discrete-event fleet simulator:
+//! determinism (rerun identity, event insertion-order invariance) and
+//! conservation across randomly generated scenarios.
+
+use proptest::prelude::*;
+
+use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, FleetSim, RoutePlan};
+use hec_sim::EventQueue;
+
+/// Builds a small scenario from sampled parameters.
+fn scenario_from(
+    devices: u32,
+    windows: u32,
+    period_ms: f64,
+    weights: [f64; 3],
+    queue_capacity: usize,
+    batch_max: usize,
+) -> FleetScenario {
+    let mut sc = FleetScenario::light_load(FleetScale::Quick);
+    sc.name = "prop".into();
+    sc.queue_capacity = queue_capacity;
+    sc.batch_max = batch_max;
+    sc.trace_interval_ms = 25.0;
+    sc.cohorts = vec![CohortSpec {
+        devices,
+        windows_per_device: windows,
+        period_ms,
+        start_ms: 0.0,
+        route: RoutePlan::Mixture(weights),
+    }];
+    sc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Popping an [`EventQueue`] yields the same time-ordered sequence
+    /// whatever order distinct-time events were inserted in.
+    #[test]
+    fn event_queue_pop_order_invariant_to_insertion_order(
+        raw in proptest::collection::vec(0usize..10_000, 40),
+        rot in 1usize..39,
+    ) {
+        // Distinct times by construction (dedup), payload = the time
+        // itself so the full (time, payload) stream must match.
+        let mut times: Vec<usize> = raw;
+        times.sort_unstable();
+        times.dedup();
+
+        let mut forward = EventQueue::new();
+        for &t in &times {
+            forward.schedule(t as f64, t);
+        }
+        let mut rotated = EventQueue::new();
+        let pivot = rot.min(times.len());
+        for &t in times[pivot..].iter().chain(&times[..pivot]) {
+            rotated.schedule(t as f64, t);
+        }
+        let mut reversed = EventQueue::new();
+        for &t in times.iter().rev() {
+            reversed.schedule(t as f64, t);
+        }
+
+        let drain = |mut q: EventQueue<usize>| {
+            let mut out = Vec::new();
+            while let Some(ev) = q.pop() {
+                out.push(ev);
+            }
+            out
+        };
+        let a = drain(forward);
+        prop_assert_eq!(&a, &drain(rotated));
+        prop_assert_eq!(&a, &drain(reversed));
+    }
+
+    /// Any small random scenario conserves windows (emitted = served +
+    /// dropped, per layer and in total) and reruns byte-identically.
+    #[test]
+    fn random_scenarios_conserve_windows_and_rerun_identically(
+        devices in 1u32..40,
+        windows in 1u32..8,
+        period_ms in 1.0f64..500.0,
+        w0 in 0.05f64..1.0,
+        w1 in 0.05f64..1.0,
+        w2 in 0.05f64..1.0,
+        queue_capacity in 1usize..64,
+        batch_max in 1usize..6,
+    ) {
+        let sc = scenario_from(devices, windows, period_ms, [w0, w1, w2], queue_capacity, batch_max);
+        let a = FleetSim::new(&sc).run();
+        prop_assert_eq!(a.emitted, sc.total_windows());
+        prop_assert_eq!(a.served + a.dropped, a.emitted);
+        for layer in &a.layers {
+            prop_assert_eq!(
+                layer.served + layer.dropped_queue + layer.dropped_link,
+                layer.offered,
+                "layer {} leaks windows", layer.layer
+            );
+        }
+        let b = FleetSim::new(&sc).run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_text(), b.to_text());
+        prop_assert_eq!(a.layers_csv(), b.layers_csv());
+    }
+}
+
+/// The named quick scenarios rerun byte-identically, including their CSV
+/// renderings (the CI smoke job diffs exactly these strings).
+#[test]
+fn named_quick_scenarios_are_reproducible() {
+    for name in FleetScenario::NAMES {
+        let sc = FleetScenario::by_name(name, FleetScale::Quick).unwrap();
+        let a = FleetSim::new(&sc).run();
+        let b = FleetSim::new(&sc).run();
+        assert_eq!(a, b, "{name} diverged between reruns");
+        assert_eq!(a.to_text(), b.to_text(), "{name} text diverged");
+        assert_eq!(a.trace_csv(), b.trace_csv(), "{name} trace diverged");
+    }
+}
+
+/// The saturation scenarios show load-dependent latency relative to the
+/// light one — the whole point of the discrete-event model.
+#[test]
+fn saturated_scenarios_have_higher_tail_latency_than_light_load() {
+    let light = FleetSim::new(&FleetScenario::light_load(FleetScale::Quick)).run();
+    let edge = FleetSim::new(&FleetScenario::edge_saturated(FleetScale::Quick)).run();
+    let cloud = FleetSim::new(&FleetScenario::cloud_link_constrained(FleetScale::Quick)).run();
+
+    assert_eq!(light.dropped, 0, "light load must not shed");
+    assert!(edge.layers[1].p99_ms > 2.0 * light.layers[1].p99_ms);
+    assert!(edge.layers[1].utilization > 0.9);
+    assert!(edge.layers[1].dropped_queue > 0);
+    assert!(cloud.layers[2].p99_ms > 2.0 * light.layers[2].p99_ms);
+    assert!(cloud.layers[2].dropped_link > 0);
+    assert!(cloud.layers[2].link_utilization.unwrap() > 0.9);
+}
+
+/// The flash crowd is visible in the queue-depth trace: some sample
+/// during the burst shows a much deeper edge queue than the steady state
+/// before it.
+#[test]
+fn flash_crowd_spikes_the_queue_trace() {
+    let sc = FleetScenario::flash_crowd(FleetScale::Quick);
+    let burst_start = sc.cohorts[1].start_ms;
+    let report = FleetSim::new(&sc).run();
+    let edge_depth_before: usize = report
+        .trace
+        .iter()
+        .filter(|s| s.t_ms < burst_start)
+        .map(|s| s.queue_depth[1])
+        .max()
+        .unwrap_or(0);
+    let edge_depth_during: usize = report
+        .trace
+        .iter()
+        .filter(|s| s.t_ms >= burst_start)
+        .map(|s| s.queue_depth[1])
+        .max()
+        .unwrap_or(0);
+    assert!(
+        edge_depth_during > 10 * edge_depth_before.max(1),
+        "no spike: before {edge_depth_before}, during {edge_depth_during}"
+    );
+}
