@@ -1,11 +1,106 @@
-//! Context-vector scaling.
+//! Context-vector scaling and load-feature augmentation.
 //!
 //! Policy networks train best on roughly unit-scale inputs. The univariate
 //! context (`{min, max, mean, std}` of a day) and the multivariate context
 //! (LSTM encoder states) are both standardised with statistics fitted on the
 //! policy-training corpus.
+//!
+//! [`LoadNormalizer`] extends the context with the *system state* the paper's
+//! static formulation ignores: normalised per-layer queue depths and link
+//! occupancy sampled at routing time, so a policy can learn that offloading
+//! into a saturated layer is expensive. Load features are already in `[0, 1]`
+//! by construction and are appended after the standardised base features.
 
 use serde::{Deserialize, Serialize};
+
+/// Maps raw per-layer load gauges (queue depths, in-flight link transfers)
+/// to `[0, 1]`-scale context features via a log ramp:
+/// `f(d) = ln(1 + d) / ln(1 + cap)` clamped to `[0, 1]`.
+///
+/// The log keeps resolution where routing decisions live (a queue of 0 vs
+/// 20 matters much more than 1800 vs 2000) while the cap pins "full" at 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadNormalizer {
+    queue_caps: Vec<f64>,
+    link_caps: Vec<f64>,
+    /// Per-layer multiplier applied to the raw queue gauge before the
+    /// ramp (1.0 = use the gauge as-is).
+    queue_scale: Vec<f64>,
+}
+
+impl LoadNormalizer {
+    /// Creates a normaliser from per-layer queue-depth caps and per-layer
+    /// link in-flight caps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cap is not at least 1.
+    pub fn new(queue_caps: Vec<f64>, link_caps: Vec<f64>) -> Self {
+        assert!(
+            queue_caps.iter().chain(link_caps.iter()).all(|&c| c >= 1.0),
+            "load caps must be ≥ 1"
+        );
+        let queue_scale = vec![1.0; queue_caps.len()];
+        Self { queue_caps, link_caps, queue_scale }
+    }
+
+    /// Sets per-layer multipliers applied to the raw queue gauges before
+    /// the ramp. Use this to make a gauge **scale-free** when its raw
+    /// magnitude depends on fleet size (e.g. rescale a busy-device count
+    /// to per-mille of the fleet), so policies trained on a scaled-down
+    /// twin see the same feature distribution at any deployment scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the queue caps or any scale is
+    /// not positive and finite.
+    pub fn with_queue_scale(mut self, queue_scale: Vec<f64>) -> Self {
+        assert_eq!(queue_scale.len(), self.queue_caps.len(), "one scale per queue gauge");
+        assert!(
+            queue_scale.iter().all(|s| *s > 0.0 && s.is_finite()),
+            "queue scales must be positive and finite"
+        );
+        self.queue_scale = queue_scale;
+        self
+    }
+
+    /// Number of features this normaliser appends.
+    pub fn dims(&self) -> usize {
+        self.queue_caps.len() + self.link_caps.len()
+    }
+
+    fn ramp(raw: f64, cap: f64) -> f32 {
+        (((1.0 + raw.max(0.0)).ln() / (1.0 + cap).ln()) as f32).clamp(0.0, 1.0)
+    }
+
+    /// Appends the normalised load features for one routing decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gauge slices are shorter than the cap vectors.
+    pub fn append_features(
+        &self,
+        queue_depth: &[usize],
+        link_inflight: &[usize],
+        out: &mut Vec<f32>,
+    ) {
+        assert!(queue_depth.len() >= self.queue_caps.len(), "queue gauge too short");
+        assert!(link_inflight.len() >= self.link_caps.len(), "link gauge too short");
+        for (l, &cap) in self.queue_caps.iter().enumerate() {
+            out.push(Self::ramp(queue_depth[l] as f64 * self.queue_scale[l], cap));
+        }
+        for (l, &cap) in self.link_caps.iter().enumerate() {
+            out.push(Self::ramp(link_inflight[l] as f64, cap));
+        }
+    }
+
+    /// The normalised load features as a fresh vector.
+    pub fn features(&self, queue_depth: &[usize], link_inflight: &[usize]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dims());
+        self.append_features(queue_depth, link_inflight, &mut out);
+        out
+    }
+}
 
 /// Per-dimension standardiser for context vectors.
 ///
@@ -132,5 +227,61 @@ mod tests {
     #[should_panic(expected = "inconsistent context dimensionality")]
     fn ragged_corpus_panics() {
         let _ = ContextScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn load_features_are_bounded_and_monotone() {
+        let norm = LoadNormalizer::new(vec![100.0, 2000.0, 2000.0], vec![4096.0; 3]);
+        assert_eq!(norm.dims(), 6);
+        let empty = norm.features(&[0, 0, 0], &[0, 0, 0]);
+        assert!(empty.iter().all(|&f| f == 0.0));
+        let full = norm.features(&[100, 2000, 2000], &[4096, 4096, 4096]);
+        assert!(full.iter().all(|&f| (f - 1.0).abs() < 1e-6), "{full:?}");
+        // Deeper queue ⇒ strictly larger feature; overflow clamps at 1.
+        let a = norm.features(&[5, 0, 0], &[0, 0, 0])[0];
+        let b = norm.features(&[50, 0, 0], &[0, 0, 0])[0];
+        assert!(b > a && a > 0.0);
+        let over = norm.features(&[10_000, 0, 0], &[0, 0, 0])[0];
+        assert_eq!(over, 1.0);
+    }
+
+    #[test]
+    fn load_features_append_after_base_context() {
+        let norm = LoadNormalizer::new(vec![10.0], vec![10.0]);
+        let mut ctx = vec![1.5f32, -0.5];
+        norm.append_features(&[3], &[0], &mut ctx);
+        assert_eq!(ctx.len(), 4);
+        assert_eq!(ctx[0], 1.5);
+        assert_eq!(ctx[3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load caps must be")]
+    fn zero_cap_rejected() {
+        let _ = LoadNormalizer::new(vec![0.0], vec![]);
+    }
+
+    /// A gauge whose raw magnitude grows with fleet size becomes
+    /// scale-free once rescaled: the same *relative* occupancy produces
+    /// the same feature at 1× and 50× fleet sizes.
+    #[test]
+    fn queue_scale_makes_relative_occupancy_scale_free() {
+        let small_fleet = 2_400.0f64;
+        let large_fleet = 120_000.0f64;
+        let small =
+            LoadNormalizer::new(vec![1000.0], vec![]).with_queue_scale(vec![1000.0 / small_fleet]);
+        let large =
+            LoadNormalizer::new(vec![1000.0], vec![]).with_queue_scale(vec![1000.0 / large_fleet]);
+        for occupancy in [0.01, 0.1, 0.5, 1.0] {
+            let a = small.features(&[(small_fleet * occupancy) as usize], &[])[0];
+            let b = large.features(&[(large_fleet * occupancy) as usize], &[])[0];
+            assert!((a - b).abs() < 5e-3, "occupancy {occupancy}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale per queue gauge")]
+    fn mismatched_scale_length_rejected() {
+        let _ = LoadNormalizer::new(vec![10.0, 10.0], vec![]).with_queue_scale(vec![1.0]);
     }
 }

@@ -120,6 +120,21 @@ impl PolicyNetwork {
         logits.iter_rows().map(|row| vecops::argmax(&vecops::softmax(row))).collect()
     }
 
+    /// Serialises every trainable parameter (in layer visitation order)
+    /// as little-endian `f32` bytes. Two policies trained through
+    /// byte-identical update sequences produce byte-identical digests —
+    /// the determinism contract the fleet-in-the-loop trainer is tested
+    /// against.
+    pub fn weights_le_bytes(&mut self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.param_count() * 4);
+        self.net.visit_params(&mut |param, _grad| {
+            for &v in param.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        });
+        out
+    }
+
     /// One REINFORCE update minimising `−advantage · log π_θ(action | ctx)`:
     /// backpropagates `advantage · (π − e_action)` through the network and
     /// applies the optimizer.
@@ -264,6 +279,21 @@ mod tests {
         let lp = p.reinforce_update(&[0.1, 0.1], 1, 0.5, &mut opt);
         assert!(lp < 0.0, "log-prob must be negative, got {lp}");
         assert!(lp > -10.0, "log-prob suspiciously small: {lp}");
+    }
+
+    #[test]
+    fn weight_digest_is_deterministic_and_tracks_updates() {
+        let mut a = PolicyNetwork::new(3, 8, 3, 7);
+        let mut b = PolicyNetwork::new(3, 8, 3, 7);
+        assert_eq!(a.weights_le_bytes(), b.weights_le_bytes());
+        assert_eq!(a.weights_le_bytes().len(), a.param_count() * 4);
+        let mut opt = Sgd::new(0.1);
+        a.reinforce_update(&[1.0, 0.0, 0.0], 1, 1.0, &mut opt);
+        assert_ne!(a.weights_le_bytes(), b.weights_le_bytes());
+        // The same update applied to the twin restores byte equality.
+        let mut opt_b = Sgd::new(0.1);
+        b.reinforce_update(&[1.0, 0.0, 0.0], 1, 1.0, &mut opt_b);
+        assert_eq!(a.weights_le_bytes(), b.weights_le_bytes());
     }
 
     #[test]

@@ -2,6 +2,18 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Error for a cost query with an invalid (negative or non-finite) delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidDelay;
+
+impl std::fmt::Display for InvalidDelay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "delay must be a finite non-negative number of milliseconds")
+    }
+}
+
+impl std::error::Error for InvalidDelay {}
+
 /// The delay-to-accuracy cost `C(a, x) = α·t / (1 + α·t)` (Eq. 1):
 /// a sigmoid-like map from end-to-end delay (ms) into `[0, 1)` so that
 /// "a higher delay will result in a greater reduction of accuracy".
@@ -29,15 +41,34 @@ impl CostModel {
         self.alpha
     }
 
+    /// The cost charged to a window that was dropped (never served):
+    /// the supremum of `C(a, x)` as `t → ∞`. A drop is therefore strictly
+    /// worse than *any* served outcome with the same correctness, however
+    /// slow — exactly the ordering admission-control shedding deserves.
+    pub const DROP_COST: f64 = 1.0;
+
     /// Cost of a detection that took `delay_ms` end-to-end.
     ///
-    /// # Panics
-    ///
-    /// Panics if `delay_ms` is negative.
+    /// Negative and NaN delays clamp to the **worst** served cost
+    /// ([`CostModel::DROP_COST`]): they always signal an upstream bug (a
+    /// closed-loop observer can never legitimately produce them), and a
+    /// release run must neither abort on one nor — worse — hand the
+    /// broken arm the cheapest possible outcome for a trainer to
+    /// reinforce. Use [`CostModel::try_cost`] to detect them instead.
     pub fn cost(&self, delay_ms: f64) -> f64 {
-        assert!(delay_ms >= 0.0, "delay must be non-negative");
+        self.try_cost(delay_ms).unwrap_or(Self::DROP_COST)
+    }
+
+    /// Checked cost: `Err(InvalidDelay)` for negative or NaN delays.
+    pub fn try_cost(&self, delay_ms: f64) -> Result<f64, InvalidDelay> {
+        if delay_ms.is_nan() || delay_ms < 0.0 {
+            return Err(InvalidDelay);
+        }
+        if delay_ms.is_infinite() {
+            return Ok(Self::DROP_COST); // the t → ∞ limit, not inf/inf = NaN
+        }
         let at = self.alpha * delay_ms;
-        at / (1.0 + at)
+        Ok(at / (1.0 + at))
     }
 }
 
@@ -69,6 +100,28 @@ impl RewardModel {
     pub fn reward(&self, correct: bool, delay_ms: f64) -> f64 {
         let accuracy = if correct { 1.0 } else { 0.0 };
         accuracy - self.cost.cost(delay_ms)
+    }
+
+    /// Reward for a window that was dropped (never served): no verdict was
+    /// produced, so the accuracy term is 0 and the delay term is the drop
+    /// cost — `−`[`CostModel::DROP_COST`], strictly below every served
+    /// outcome.
+    pub fn reward_dropped(&self) -> f64 {
+        -CostModel::DROP_COST
+    }
+
+    /// Reward for a closed-loop outcome: `Some(delay)` means the window
+    /// was served (scored by [`RewardModel::reward`]), `None` means it was
+    /// dropped and pays [`RewardModel::reward_dropped`] regardless of
+    /// `correct` (a shed window has no verdict to be correct about).
+    ///
+    /// This is the reward path every [`crate::DelaySource`]-driven
+    /// training and evaluation loop goes through.
+    pub fn reward_outcome(&self, correct: bool, delay_ms: Option<f64>) -> f64 {
+        match delay_ms {
+            Some(t) => self.reward(correct, t),
+            None => self.reward_dropped(),
+        }
     }
 
     /// Aggregate "Reward" column of Table II: `100 × (mean accuracy − mean
@@ -161,5 +214,39 @@ mod tests {
     #[should_panic(expected = "alpha must be positive")]
     fn zero_alpha_rejected() {
         let _ = CostModel::new(0.0);
+    }
+
+    #[test]
+    fn invalid_delays_clamp_but_are_detectable() {
+        let c = CostModel::new(0.0005);
+        // Release-safe clamp: negative/NaN pay the *worst* served cost
+        // instead of aborting — an upstream bug must never look cheap.
+        assert_eq!(c.cost(-5.0), CostModel::DROP_COST);
+        assert_eq!(c.cost(f64::NAN), CostModel::DROP_COST);
+        // The checked path surfaces them.
+        assert_eq!(c.try_cost(-5.0), Err(InvalidDelay));
+        assert_eq!(c.try_cost(f64::NAN), Err(InvalidDelay));
+        assert_eq!(c.try_cost(12.4), Ok(c.cost(12.4)));
+        // +∞ is the well-defined limit, not NaN.
+        assert_eq!(c.try_cost(f64::INFINITY), Ok(CostModel::DROP_COST));
+    }
+
+    #[test]
+    fn drop_reward_is_strictly_worse_than_any_served_outcome() {
+        let r = RewardModel::new(0.0005);
+        assert_eq!(r.reward_dropped(), -1.0);
+        // Even an incorrect verdict after an absurd delay beats a drop.
+        assert!(r.reward_dropped() < r.reward(false, 1e12));
+        assert!(r.reward_dropped() < r.reward(true, 1e12));
+    }
+
+    #[test]
+    fn reward_outcome_routes_drops_to_the_penalty() {
+        let r = RewardModel::new(0.0005);
+        assert_eq!(r.reward_outcome(true, Some(12.4)), r.reward(true, 12.4));
+        assert_eq!(r.reward_outcome(false, Some(504.5)), r.reward(false, 504.5));
+        // Correctness is irrelevant for a window nobody served.
+        assert_eq!(r.reward_outcome(true, None), r.reward_dropped());
+        assert_eq!(r.reward_outcome(false, None), r.reward_dropped());
     }
 }

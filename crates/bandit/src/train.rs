@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 
 use hec_nn::Adam;
 
+use crate::delay::DelaySource;
 use crate::policy::PolicyNetwork;
+use crate::reward::RewardModel;
 
 /// The reinforcement-comparison baseline: an exponentially-weighted running
 /// mean of observed rewards, `r̄ ← r̄ + β (r − r̄)`.
@@ -138,15 +140,31 @@ impl PolicyTrainer {
         context: &[f32],
         reward_of: &mut dyn FnMut(usize) -> f32,
     ) -> (usize, f32) {
-        let action = self.policy.sample(context, &mut self.rng);
+        let action = self.sample_action(context);
         let reward = reward_of(action);
+        self.observe(context, action, reward);
+        (action, reward)
+    }
+
+    /// Samples an action from the current policy *without* updating —
+    /// the first half of a step whose reward arrives later (e.g. when the
+    /// window's simulated completion is observed only after it drains
+    /// through the fleet's queues). Pair with [`PolicyTrainer::observe`].
+    pub fn sample_action(&mut self, context: &[f32]) -> usize {
+        self.policy.sample(context, &mut self.rng)
+    }
+
+    /// Applies the deferred REINFORCE update for an action sampled
+    /// earlier via [`PolicyTrainer::sample_action`], once its reward is
+    /// known: updates the baseline and the policy. `context` must be the
+    /// exact context the action was sampled from.
+    pub fn observe(&mut self, context: &[f32], action: usize, reward: f32) {
         let advantage = if self.config.use_baseline {
             self.baseline.advantage_and_update(reward)
         } else {
             reward
         };
         self.policy.reinforce_update(context, action, advantage, &mut self.optimizer);
-        (action, reward)
     }
 
     /// Trains for `config.epochs` passes over `contexts`; the oracle is
@@ -174,6 +192,32 @@ impl PolicyTrainer {
             curve.push(total / contexts.len() as f32);
         }
         TrainingCurve { mean_reward_per_epoch: curve }
+    }
+
+    /// Trains against a [`RewardModel`] whose delays come from a pluggable
+    /// [`DelaySource`]: the canonical reward path. `correct_of(i, a)` is
+    /// the frozen oracle's verdict-correctness for window `i` at action
+    /// `a`; windows the source reports as dropped (`None`) pay the drop
+    /// penalty ([`RewardModel::reward_dropped`]).
+    ///
+    /// With a [`crate::StaticDelays`] table this reproduces the paper's
+    /// original static training bit-for-bit; with observed delays the same
+    /// loop learns load-dependent costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty.
+    pub fn train_with_delays(
+        &mut self,
+        contexts: &[Vec<f32>],
+        correct_of: &mut dyn FnMut(usize, usize) -> bool,
+        delays: &dyn DelaySource,
+        reward: &RewardModel,
+    ) -> TrainingCurve {
+        let mut reward_of = |i: usize, a: usize| -> f32 {
+            reward.reward_outcome(correct_of(i, a), delays.delay_ms(i, a)) as f32
+        };
+        self.train(contexts, &mut reward_of)
     }
 }
 
@@ -245,6 +289,58 @@ mod tests {
         let early: f32 = curve.mean_reward_per_epoch[..5].iter().sum::<f32>() / 5.0;
         let late: f32 = curve.mean_reward_per_epoch[35..].iter().sum::<f32>() / 5.0;
         assert!(late > early, "no improvement: early {early}, late {late}");
+    }
+
+    #[test]
+    fn delay_source_training_matches_equivalent_closure() {
+        use crate::delay::StaticDelays;
+
+        // Identical seeds and rewards ⇒ identical curves and weights,
+        // whether the reward comes from the closure or the trait path.
+        let contexts: Vec<Vec<f32>> =
+            (0..30).map(|i| if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] }).collect();
+        let delays = StaticDelays::new(vec![12.4, 257.43, 504.5]);
+        let reward = RewardModel::new(0.0005);
+        let correct = |i: usize, a: usize| if i.is_multiple_of(2) { a == 0 } else { a == 2 };
+        let config = TrainConfig { epochs: 10, ..Default::default() };
+
+        let mut via_trait = PolicyTrainer::new(PolicyNetwork::new(2, 16, 3, 5), config);
+        let curve_trait =
+            via_trait.train_with_delays(&contexts, &mut { correct }, &delays, &reward);
+
+        let mut via_closure = PolicyTrainer::new(PolicyNetwork::new(2, 16, 3, 5), config);
+        let mut reward_of = |i: usize, a: usize| -> f32 {
+            reward.reward(correct(i, a), delays.per_action()[a]) as f32
+        };
+        let curve_closure = via_closure.train(&contexts, &mut reward_of);
+
+        assert_eq!(curve_trait, curve_closure);
+        assert_eq!(
+            via_trait.policy_mut().weights_le_bytes(),
+            via_closure.policy_mut().weights_le_bytes()
+        );
+    }
+
+    #[test]
+    fn dropped_windows_pay_the_penalty_during_training() {
+        use crate::delay::ObservedDelays;
+
+        // Action 1 is never served: the trained policy must avoid it even
+        // though its "correctness" would have been perfect.
+        let contexts: Vec<Vec<f32>> = (0..20).map(|_| vec![1.0, 1.0]).collect();
+        let mut observed = ObservedDelays::new(20, 3);
+        for i in 0..20 {
+            observed.record(i, 0, 12.4);
+            observed.record(i, 2, 504.5);
+        }
+        let reward = RewardModel::new(0.0005);
+        let mut trainer = PolicyTrainer::new(
+            PolicyNetwork::new(2, 16, 3, 3),
+            TrainConfig { epochs: 40, learning_rate: 5e-3, ..Default::default() },
+        );
+        let curve = trainer.train_with_delays(&contexts, &mut |_i, _a| true, &observed, &reward);
+        assert!(curve.final_reward() > 0.8, "final {}", curve.final_reward());
+        assert_ne!(trainer.policy_mut().greedy(&[1.0, 1.0]), 1, "policy kept the dropped arm");
     }
 
     #[test]

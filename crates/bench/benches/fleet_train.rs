@@ -1,0 +1,115 @@
+//! Criterion bench: the fleet-in-the-loop training subsystem — one
+//! in-fleet REINFORCE epoch, and the two closed-loop evaluation routers
+//! (statically-trained policy via the precomputed action table vs the
+//! fleet-trained load-aware policy routed per window on live queue
+//! state). The table router amortises one batched forward pass over the
+//! corpus; the load-aware router pays a per-window forward — this bench
+//! keeps that overhead honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hec_anomaly::ConfidenceRule;
+use hec_bandit::{ContextScaler, PolicyNetwork, RewardModel, TrainConfig};
+use hec_core::stream::{scenario_load_normalizer, stream_through_fleet};
+use hec_core::{train_policy_in_fleet, Oracle, SchemeKind, WindowOutcome};
+use hec_sim::fleet::{FleetScale, FleetScenario};
+
+/// Synthetic frozen oracle: layer 0 right on even windows, upper layers
+/// always right (no model training in a bench).
+fn synthetic_oracle(n: usize) -> Oracle {
+    let outcomes = (0..n)
+        .map(|i| {
+            let truth = i % 3 == 0;
+            let easy = i % 2 == 0;
+            let verdict0 = if easy { truth } else { !truth };
+            let frac = |v: bool| if v { 0.4f32 } else { 0.0 };
+            WindowOutcome {
+                truth,
+                min_log_pd: [
+                    -5.0,
+                    if truth { -60.0 } else { -1.0 },
+                    if truth { -60.0 } else { -1.0 },
+                ],
+                anomalous_fraction: [frac(verdict0), frac(truth), frac(truth)],
+                context: vec![easy as u8 as f32, (i % 5) as f32 / 4.0],
+            }
+        })
+        .collect();
+    Oracle {
+        outcomes,
+        thresholds: [-10.0; 3],
+        flag_fraction: 0.0,
+        confidence: ConfidenceRule::default(),
+    }
+}
+
+fn bench_fleet_train(c: &mut Criterion) {
+    let oracle = synthetic_oracle(256);
+    let scaler = ContextScaler::fit(&oracle.contexts());
+    let reward = RewardModel::new(0.0005);
+    let sc = FleetScenario::edge_saturated(FleetScale::Quick);
+
+    let mut group = c.benchmark_group("fleet_train");
+    group.bench_function(
+        &format!("one_epoch_edge_saturated_{}_windows", sc.total_windows()),
+        |b| {
+            b.iter(|| {
+                black_box(train_policy_in_fleet(
+                    black_box(&sc),
+                    &oracle,
+                    &scaler,
+                    &reward,
+                    32,
+                    TrainConfig { epochs: 1, ..Default::default() },
+                    None,
+                ))
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_eval_routers(c: &mut Criterion) {
+    let oracle = synthetic_oracle(256);
+    let scaler = ContextScaler::fit(&oracle.contexts());
+    let reward = RewardModel::new(0.0005);
+    let sc = FleetScenario::edge_saturated(FleetScale::Quick);
+    let norm = scenario_load_normalizer(&sc);
+    let windows = sc.total_windows();
+
+    let mut static_policy = PolicyNetwork::new(scaler.dim(), 32, 3, 0);
+    let mut fleet_policy = PolicyNetwork::new(scaler.dim() + norm.dims(), 32, 3, 0);
+
+    let mut group = c.benchmark_group("fleet_eval");
+    group.bench_function(&format!("static_table_router_{windows}_windows"), |b| {
+        b.iter(|| {
+            black_box(stream_through_fleet(
+                &sc,
+                &oracle,
+                SchemeKind::Adaptive,
+                Some(&mut static_policy),
+                Some(&scaler),
+                &reward,
+                None,
+            ))
+        })
+    });
+    group.bench_function(&format!("load_aware_router_{windows}_windows"), |b| {
+        b.iter(|| {
+            black_box(stream_through_fleet(
+                &sc,
+                &oracle,
+                SchemeKind::Adaptive,
+                Some(&mut fleet_policy),
+                Some(&scaler),
+                &reward,
+                None,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_train, bench_eval_routers);
+criterion_main!(benches);

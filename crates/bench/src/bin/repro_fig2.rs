@@ -3,7 +3,8 @@
 //!
 //! Run with `cargo run -p hec-bench --bin repro_fig2`.
 
-use hec_bandit::{PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig};
+use hec_bandit::{DelaySource, PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig};
+use hec_core::static_delay_table;
 use hec_sim::{DatasetKind, HecTopology};
 
 fn main() {
@@ -28,10 +29,11 @@ fn main() {
         })
         .collect();
     // Oracle: layer k is correct iff its capacity (k) covers the hardness.
+    let delays = static_delay_table(&topo, 384);
     let mut reward_of = |i: usize, a: usize| -> f32 {
         let hardness = (i % 3) as f32 / 2.0;
         let capable = a as f32 / 2.0 >= hardness;
-        reward.reward(capable, topo.end_to_end_ms(a, 384)) as f32
+        reward.reward_outcome(capable, delays.delay_ms(i, a)) as f32
     };
     let mut trainer = PolicyTrainer::new(
         policy,

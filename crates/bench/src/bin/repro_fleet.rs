@@ -22,10 +22,12 @@
 
 use std::time::Instant;
 
+use hec_bandit::RewardModel;
 use hec_bench::{univariate_config, Profile};
 use hec_core::stream::{fleet_stream_csv, stream_through_fleet, FleetStreamResult};
 use hec_core::{Experiment, SchemeKind};
 use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, FleetSim, RoutePlan};
+use hec_sim::DatasetKind;
 
 fn scale_of(profile: Profile) -> FleetScale {
     match profile {
@@ -105,32 +107,42 @@ fn stream_schemes(profile: Profile, scale: FleetScale, out_dir: Option<&str>) {
     sc.name = "scheme_stream".into();
     sc.batch_max = 1;
     sc.cloud_bandwidth_mbps = Some(6.0);
-    sc.cohorts = vec![CohortSpec {
-        devices: (100_000.0 / s) as u32,
-        windows_per_device: 10,
-        period_ms: 75_000.0 / s,
-        start_ms: 0.0,
-        route: RoutePlan::Fixed(0), // overridden by the scheme router
-    }];
+    // RoutePlan is overridden by the scheme router.
+    sc.cohorts = vec![CohortSpec::uniform(
+        (100_000.0 / s) as u32,
+        10,
+        75_000.0 / s,
+        0.0,
+        RoutePlan::Fixed(0),
+    )];
 
+    let reward = RewardModel::new(DatasetKind::Univariate.paper_alpha());
     let results: Vec<FleetStreamResult> = SchemeKind::ALL
         .iter()
         .map(|&kind| match kind {
-            SchemeKind::Adaptive => {
-                stream_through_fleet(&sc, &eval_oracle, kind, Some(&mut policy), Some(&scaler))
-            }
-            _ => stream_through_fleet(&sc, &eval_oracle, kind, None, None),
+            SchemeKind::Adaptive => stream_through_fleet(
+                &sc,
+                &eval_oracle,
+                kind,
+                Some(&mut policy),
+                Some(&scaler),
+                &reward,
+                None,
+            ),
+            _ => stream_through_fleet(&sc, &eval_oracle, kind, None, None, &reward, None),
         })
         .collect();
 
     for r in &results {
         println!(
-            "{:<12} served={:<8} missed={:<8} acc={:.4} f1={:.4} mean={:.2} ms p99={:.2} ms",
+            "{:<12} served={:<8} missed={:<8} acc={:.4} f1={:.4} reward={:<8.2} mean={:.2} ms \
+             p99={:.2} ms",
             r.scheme.to_string(),
             r.fleet.served,
             r.missed,
             r.accuracy(),
             r.f1(),
+            r.mean_reward_x100,
             r.fleet.overall_mean_ms,
             r.fleet.overall_p99_ms
         );

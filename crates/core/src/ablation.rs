@@ -9,12 +9,13 @@ use serde::{Deserialize, Serialize};
 
 use hec_anomaly::{ConfidenceRule, ThresholdRule};
 use hec_bandit::{
-    BanditSolver, ContextScaler, EpsilonGreedy, LinUcb, PolicyNetwork, PolicyTrainer, RewardModel,
-    TrainConfig, TrainingCurve,
+    BanditSolver, ContextScaler, DelaySource, EpsilonGreedy, LinUcb, PolicyNetwork, PolicyTrainer,
+    RewardModel, TrainConfig, TrainingCurve,
 };
 use hec_data::BinaryConfusion;
 use hec_sim::HecTopology;
 
+use crate::experiment::static_delay_table;
 use crate::oracle::Oracle;
 use crate::parallel::parallel_map;
 use crate::scheme::{SchemeEvaluator, SchemeKind};
@@ -53,16 +54,18 @@ pub fn alpha_sweep(
     let scaler = ContextScaler::fit(&contexts);
     let scaled = scaler.transform_all(&contexts);
     let input_dim = scaled[0].len();
+    let delays = static_delay_table(topology, payload_bytes);
 
     parallel_map(alphas, |_, &alpha| {
         let reward = RewardModel::new(alpha);
         let policy = PolicyNetwork::new(input_dim, policy_hidden, 3, train.seed);
         let mut trainer = PolicyTrainer::new(policy, train);
-        let mut reward_of = |i: usize, a: usize| -> f32 {
-            reward.reward(train_oracle.correct(i, a), topology.end_to_end_ms(a, payload_bytes))
-                as f32
-        };
-        trainer.train(&scaled, &mut reward_of);
+        trainer.train_with_delays(
+            &scaled,
+            &mut |i, a| train_oracle.correct(i, a),
+            &delays,
+            &reward,
+        );
         let mut policy = trainer.into_policy();
 
         let ev = SchemeEvaluator::new(topology, payload_bytes, reward);
@@ -102,16 +105,13 @@ pub fn baseline_ablation(
     let scaled = scaler.transform_all(&contexts);
     let input_dim = scaled[0].len();
     let reward = RewardModel::new(alpha);
+    let delays = static_delay_table(topology, payload_bytes);
 
     let run = |use_baseline: bool| -> TrainingCurve {
         let config = TrainConfig { use_baseline, ..train };
         let policy = PolicyNetwork::new(input_dim, policy_hidden, 3, train.seed);
         let mut trainer = PolicyTrainer::new(policy, config);
-        let mut reward_of = |i: usize, a: usize| -> f32 {
-            reward.reward(train_oracle.correct(i, a), topology.end_to_end_ms(a, payload_bytes))
-                as f32
-        };
-        trainer.train(&scaled, &mut reward_of)
+        trainer.train_with_delays(&scaled, &mut |i, a| train_oracle.correct(i, a), &delays, &reward)
     };
 
     BaselineAblation { with_baseline: run(true), without_baseline: run(false) }
@@ -149,8 +149,9 @@ pub fn solver_comparison(
     let scaled = scaler.transform_all(&contexts);
     let input_dim = scaled[0].len();
     let reward = RewardModel::new(alpha);
+    let delays = static_delay_table(topology, payload_bytes);
     let reward_of = |i: usize, a: usize| -> f32 {
-        reward.reward(oracle.correct(i, a), topology.end_to_end_ms(a, payload_bytes)) as f32
+        reward.reward_outcome(oracle.correct(i, a), delays.delay_ms(i, a)) as f32
     };
 
     // Classic solvers behind the common trait (each worker builds its own).
@@ -174,7 +175,7 @@ pub fn solver_comparison(
         for (i, ctx) in scaled.iter().enumerate() {
             let arm = solver.select(ctx, &mut greedy_rng);
             confusion.record(oracle.verdict(i, arm), oracle.outcomes[i].truth);
-            delay += topology.end_to_end_ms(arm, payload_bytes);
+            delay += delays.per_action()[arm];
         }
         SolverRow {
             solver: solver.name().to_owned(),
@@ -197,7 +198,7 @@ pub fn solver_comparison(
         for (i, ctx) in scaled.iter().enumerate() {
             let arm = policy.greedy(ctx);
             confusion.record(oracle.verdict(i, arm), oracle.outcomes[i].truth);
-            delay += topology.end_to_end_ms(arm, payload_bytes);
+            delay += delays.per_action()[arm];
         }
         let mean_reward = curve.mean_reward_per_epoch.iter().map(|&x| x as f64).sum::<f64>()
             / curve.mean_reward_per_epoch.len().max(1) as f64;

@@ -8,7 +8,8 @@
 
 use hec_anomaly::ModelCatalog;
 use hec_bandit::{
-    ContextScaler, PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig, TrainingCurve,
+    ContextScaler, PolicyNetwork, PolicyTrainer, RewardModel, StaticDelays, TrainConfig,
+    TrainingCurve,
 };
 use hec_data::{
     mhealth::{Activity, MhealthConfig, MhealthGenerator},
@@ -229,7 +230,17 @@ impl Experiment {
         Oracle::precompute_with_thresholds(&mut self.catalog, windows, self.thresholds)
     }
 
-    /// Stage 6: train the policy network on the policy-training corpus.
+    /// The static per-action delay table of this experiment's topology
+    /// and payload — the unloaded `t_e2e` ladder behind Table II, exposed
+    /// as a [`StaticDelays`] source so training and ablations share one
+    /// reward path with the fleet-observed delays.
+    pub fn static_delays(&self) -> StaticDelays {
+        static_delay_table(&self.topology, self.config.payload_bytes())
+    }
+
+    /// Stage 6: train the policy network on the policy-training corpus
+    /// against the **static** delay table (the paper's original training
+    /// regime; see [`crate::fleet_train`] for the load-aware variant).
     /// Returns the trained policy, its context scaler and the learning curve.
     pub fn train_policy(
         &mut self,
@@ -239,21 +250,22 @@ impl Experiment {
         let scaler = ContextScaler::fit(&contexts);
         let scaled = scaler.transform_all(&contexts);
         let reward = RewardModel::new(self.config.dataset.kind().paper_alpha());
-        let payload = self.config.payload_bytes();
-        let topo = &self.topology;
+        let delays = self.static_delays();
 
         let input_dim = scaled[0].len();
         let policy = PolicyNetwork::new(
             input_dim,
             self.config.policy_hidden,
-            topo.num_layers(),
+            self.topology.num_layers(),
             self.config.seed,
         );
         let mut trainer = PolicyTrainer::new(policy, self.config.policy);
-        let mut reward_of = |i: usize, a: usize| -> f32 {
-            reward.reward(policy_oracle.correct(i, a), topo.end_to_end_ms(a, payload)) as f32
-        };
-        let curve = trainer.train(&scaled, &mut reward_of);
+        let curve = trainer.train_with_delays(
+            &scaled,
+            &mut |i, a| policy_oracle.correct(i, a),
+            &delays,
+            &reward,
+        );
         (trainer.into_policy(), scaler, curve)
     }
 
@@ -311,6 +323,17 @@ impl Experiment {
             eval_windows: eval_oracle.len(),
         }
     }
+}
+
+/// The static per-action delay table for a topology and payload: the
+/// unloaded end-to-end `t_e2e` of every layer, as a [`StaticDelays`]
+/// source. Every consumer of the old "fixed delay table" reward path goes
+/// through this (training, ablations, figures), so swapping in observed
+/// fleet delays is a one-argument change.
+pub fn static_delay_table(topology: &HecTopology, payload_bytes: usize) -> StaticDelays {
+    StaticDelays::new(
+        (0..topology.num_layers()).map(|l| topology.end_to_end_ms(l, payload_bytes)).collect(),
+    )
 }
 
 /// Vertically stacks matrices (same column count).

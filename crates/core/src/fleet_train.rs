@@ -1,0 +1,381 @@
+//! Fleet-in-the-loop bandit training.
+//!
+//! The paper trains its policy against the *static* per-action delay
+//! table, so the learned trade-off is blind to load: offloading into a
+//! saturated edge looks exactly as cheap as offloading into an idle one.
+//! This module closes the loop instead: the policy trains **inside** the
+//! discrete-event fleet simulator, on the step-wise
+//! [`FleetEngine`](hec_sim::fleet::FleetEngine) API, interleaving
+//!
+//! 1. *route* — sample an action from the policy on the window's scaled
+//!    base context **plus the live normalised load gauges** (queue depths
+//!    and link occupancy at the emitting moment);
+//! 2. *observe* — when the window's simulated completion (or drop)
+//!    arrives, score it with the [`RewardModel`] at the **observed
+//!    load-dependent delay** (drops pay the explicit drop penalty);
+//! 3. *update* — apply the deferred REINFORCE update
+//!    ([`PolicyTrainer::observe`]) with the reinforcement-comparison
+//!    baseline.
+//!
+//! Because actions shape queueing, the policy's own exploration changes
+//! the delays it learns from — exactly the closed loop a deployed
+//! adaptive scheme lives in. One epoch = one full scenario replay; the
+//! corpus maps onto emitted windows as `seq mod corpus`, so every oracle
+//! window is visited under many load states.
+//!
+//! Everything is single-threaded and seeded: same scenario + oracle +
+//! config ⇒ byte-identical trained weights, curve and drop counts on any
+//! host and under any `HEC_THREADS` setting.
+
+use hec_bandit::{
+    ContextScaler, LoadNormalizer, PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig,
+    TrainingCurve,
+};
+use hec_sim::fleet::{FleetEngine, FleetScenario, JobEvent};
+
+use crate::oracle::Oracle;
+use crate::stream::{scenario_load_normalizer, ProbeMap};
+
+/// Result of training a policy inside the fleet.
+#[derive(Debug)]
+pub struct FleetTrainOutcome {
+    /// The trained load-aware policy
+    /// (`input_dim = scaler.dim() + load dims`).
+    pub policy: PolicyNetwork,
+    /// Mean observed reward per epoch (drops included at the penalty).
+    pub curve: TrainingCurve,
+    /// Windows shed by admission control in each epoch — falling drop
+    /// counts are the visible sign the policy is learning to route
+    /// around saturation.
+    pub drops_per_epoch: Vec<u64>,
+}
+
+/// Trains a load-aware policy inside `scenario`'s fleet.
+///
+/// The policy's context is the scaled oracle context concatenated with
+/// the scenario's normalised load features ([`scenario_load_normalizer`];
+/// evaluation must use the same normaliser, which
+/// [`crate::stream::stream_through_fleet`] does automatically for
+/// policies of this dimensionality). `config.epochs` full scenario
+/// replays are performed; `config.seed` seeds both the weight
+/// initialisation and the exploration sampling.
+///
+/// `probe_cohort` mirrors the evaluation driver: `None` trains on every
+/// emitted window (the policy's own exploration is the only load);
+/// `Some(c)` trains only on cohort `c`'s windows while the remaining
+/// cohorts replay their scenario routing plans as background load — the
+/// congestion regime the policy must learn to route around.
+///
+/// # Panics
+///
+/// Panics if the oracle is empty, the scaler's dimensionality does not
+/// match the oracle contexts, the probe cohort is out of range or emits
+/// nothing, or the scenario emits no windows.
+pub fn train_policy_in_fleet(
+    scenario: &FleetScenario,
+    oracle: &Oracle,
+    scaler: &ContextScaler,
+    reward: &RewardModel,
+    hidden: usize,
+    config: TrainConfig,
+    probe_cohort: Option<u32>,
+) -> FleetTrainOutcome {
+    assert!(!oracle.is_empty(), "cannot train on an empty oracle corpus");
+    let total_windows = scenario.total_windows();
+    assert!(total_windows > 0, "scenario emits no windows");
+    let trained_windows = match probe_cohort {
+        None => total_windows,
+        Some(pc) => {
+            let cohort = scenario
+                .cohorts
+                .get(pc as usize)
+                .unwrap_or_else(|| panic!("probe cohort {pc} out of range"));
+            assert!(cohort.total_windows() > 0, "probe cohort {pc} emits no windows");
+            cohort.total_windows()
+        }
+    };
+    let n = oracle.len();
+    let k = scenario.topology().num_layers();
+
+    let scaled: Vec<Vec<f32>> =
+        oracle.outcomes.iter().map(|o| scaler.transform(&o.context)).collect();
+    let norm: LoadNormalizer = scenario_load_normalizer(scenario);
+    let input_dim = scaler.dim() + norm.dims();
+
+    let policy = PolicyNetwork::new(input_dim, hidden, k, config.seed);
+    let mut trainer = PolicyTrainer::new(policy, config);
+
+    let mut curve = Vec::with_capacity(config.epochs);
+    let mut drops_per_epoch = Vec::with_capacity(config.epochs);
+    // Routed-but-unresolved trainable windows: (oracle index, augmented
+    // context, sampled action), indexed by the window's global sequence
+    // number. Background windows under a probe cohort never get an entry.
+    let mut pending: Vec<Option<(u32, Vec<f32>, usize)>> = vec![None; total_windows as usize];
+    // The same window → oracle mapping the evaluation driver uses.
+    let mut probe_map = ProbeMap::new(probe_cohort, n);
+
+    for _epoch in 0..config.epochs {
+        let mut engine = FleetEngine::new(scenario);
+        let mut total = 0.0f32;
+        let mut outcomes = 0u64;
+        let mut drops = 0u64;
+        probe_map.reset();
+        loop {
+            // The router borrows the trainer mutably only for the duration
+            // of this step; the deferred update below re-borrows it.
+            let ev = {
+                let trainer = &mut trainer;
+                let pending = &mut pending;
+                let probe_map = &mut probe_map;
+                let scaled = &scaled;
+                let norm = &norm;
+                engine.step(&mut |ctx| {
+                    let Some(i) = probe_map.oracle_index(ctx) else {
+                        // Background load: replay the scenario plan.
+                        return scenario.planned_layer(ctx.cohort, ctx.seq);
+                    };
+                    let mut feat = Vec::with_capacity(input_dim);
+                    feat.extend_from_slice(&scaled[i]);
+                    norm.append_features(ctx.queue_depth, ctx.link_inflight, &mut feat);
+                    let action = trainer.sample_action(&feat);
+                    pending[ctx.seq as usize] = Some((i as u32, feat, action));
+                    action
+                })
+            };
+            let Some(ev) = ev else { break };
+            let seq = match ev {
+                JobEvent::Served { seq, .. } | JobEvent::Dropped { seq, .. } => seq,
+            };
+            let Some((i, feat, action)) = pending[seq as usize].take() else {
+                continue; // background window: load only, no update
+            };
+            let r = match ev {
+                JobEvent::Served { layer, latency_ms, .. } => reward
+                    .reward_outcome(oracle.correct(i as usize, layer), Some(latency_ms))
+                    as f32,
+                JobEvent::Dropped { .. } => {
+                    drops += 1;
+                    reward.reward_dropped() as f32
+                }
+            };
+            trainer.observe(&feat, action, r);
+            total += r;
+            outcomes += 1;
+        }
+        debug_assert_eq!(outcomes, trained_windows, "fleet leaked windows during training");
+        curve.push(total / outcomes.max(1) as f32);
+        drops_per_epoch.push(drops);
+        pending.iter_mut().for_each(|slot| *slot = None);
+    }
+
+    FleetTrainOutcome {
+        policy: trainer.into_policy(),
+        curve: TrainingCurve { mean_reward_per_epoch: curve },
+        drops_per_epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::WindowOutcome;
+    use crate::scheme::SchemeKind;
+    use crate::stream::stream_through_fleet;
+    use hec_anomaly::ConfidenceRule;
+    use hec_sim::fleet::{CohortSpec, FleetScale, RoutePlan};
+
+    /// Synthetic oracle: layer 0 is right only on easy (even) windows,
+    /// layers 1 and 2 are always right — so offloading pays in accuracy.
+    fn oracle(n: usize) -> Oracle {
+        let outcomes = (0..n)
+            .map(|i| {
+                let truth = i % 3 == 0;
+                let easy = i % 2 == 0;
+                let verdict0 = if easy { truth } else { !truth };
+                let frac = |v: bool| if v { 0.4f32 } else { 0.0 };
+                WindowOutcome {
+                    truth,
+                    min_log_pd: [
+                        -5.0,
+                        if truth { -60.0 } else { -1.0 },
+                        if truth { -60.0 } else { -1.0 },
+                    ],
+                    anomalous_fraction: [frac(verdict0), frac(truth), frac(truth)],
+                    context: vec![easy as u8 as f32, (i % 3) as f32 / 2.0],
+                }
+            })
+            .collect();
+        Oracle {
+            outcomes,
+            thresholds: [-10.0; 3],
+            flag_fraction: 0.0,
+            confidence: ConfidenceRule::default(),
+        }
+    }
+
+    /// A small fleet whose edge saturates if everything offloads there:
+    /// 60 devices × 1 window / 25 ms ≈ 2.4k/s offered against ~540/s.
+    fn hot_scenario() -> FleetScenario {
+        let mut sc = FleetScenario::light_load(FleetScale::Quick);
+        sc.name = "train_test".into();
+        sc.batch_max = 1;
+        sc.queue_capacity = 40;
+        sc.trace_interval_ms = 25.0;
+        sc.cohorts = vec![CohortSpec::uniform(60, 8, 25.0, 0.0, RoutePlan::Fixed(0))];
+        sc
+    }
+
+    fn quick_config(epochs: usize) -> TrainConfig {
+        TrainConfig { epochs, learning_rate: 5e-3, ..Default::default() }
+    }
+
+    #[test]
+    fn training_produces_a_load_aware_policy_and_full_curve() {
+        let o = oracle(48);
+        let scaler = ContextScaler::fit(&o.contexts());
+        let sc = hot_scenario();
+        let reward = RewardModel::new(0.0005);
+        let out = train_policy_in_fleet(&sc, &o, &scaler, &reward, 16, quick_config(4), None);
+        assert_eq!(out.curve.mean_reward_per_epoch.len(), 4);
+        assert_eq!(out.drops_per_epoch.len(), 4);
+        let norm = scenario_load_normalizer(&sc);
+        let mut policy = out.policy;
+        assert_eq!(policy.input_dim(), scaler.dim() + norm.dims());
+        // The trained policy slots straight into the closed-loop driver.
+        let r = stream_through_fleet(
+            &sc,
+            &o,
+            SchemeKind::Adaptive,
+            Some(&mut policy),
+            Some(&scaler),
+            &reward,
+            None,
+        );
+        assert_eq!(r.fleet.served + r.missed, r.fleet.emitted);
+    }
+
+    #[test]
+    fn training_improves_observed_reward() {
+        let o = oracle(48);
+        let scaler = ContextScaler::fit(&o.contexts());
+        let sc = hot_scenario();
+        let reward = RewardModel::new(0.0005);
+        let out = train_policy_in_fleet(&sc, &o, &scaler, &reward, 16, quick_config(12), None);
+        let c = &out.curve.mean_reward_per_epoch;
+        let early: f32 = c[..3].iter().sum::<f32>() / 3.0;
+        let late: f32 = c[c.len() - 3..].iter().sum::<f32>() / 3.0;
+        assert!(late > early, "no improvement: early {early}, late {late}");
+    }
+
+    /// Same seed + scenario ⇒ byte-identical trained weights, curve and
+    /// drop counts, whatever `HEC_THREADS` says — and the closed-loop
+    /// evaluation of the result is identical too.
+    #[test]
+    fn fleet_training_is_thread_count_invariant() {
+        let o = oracle(36);
+        let scaler = ContextScaler::fit(&o.contexts());
+        let sc = hot_scenario();
+        let reward = RewardModel::new(0.0005);
+        let run = |threads: usize| {
+            crate::parallel::with_thread_count(threads, || {
+                let mut out =
+                    train_policy_in_fleet(&sc, &o, &scaler, &reward, 16, quick_config(3), None);
+                let weights = out.policy.weights_le_bytes();
+                let report = stream_through_fleet(
+                    &sc,
+                    &o,
+                    SchemeKind::Adaptive,
+                    Some(&mut out.policy),
+                    Some(&scaler),
+                    &reward,
+                    None,
+                );
+                (weights, out.curve, out.drops_per_epoch, report)
+            })
+        };
+        let serial = run(1);
+        let threaded = run(2);
+        assert_eq!(serial.0, threaded.0, "trained weights diverged across HEC_THREADS");
+        assert_eq!(serial.1, threaded.1, "training curve diverged");
+        assert_eq!(serial.2, threaded.2, "drop accounting diverged");
+        assert_eq!(serial.3, threaded.3, "closed-loop report diverged");
+    }
+
+    /// The shared-fleet setting end to end: a background cohort pegs the
+    /// edge queue, a probe cohort is scheme-routed. A policy trained
+    /// against the *static* delay table keeps sending hard windows into
+    /// the saturated edge; the policy trained inside the loaded fleet
+    /// learns to route around it and earns strictly more observed reward.
+    #[test]
+    fn fleet_trained_beats_static_under_background_saturation() {
+        use hec_bandit::{PolicyNetwork, PolicyTrainer};
+
+        let o = oracle(48);
+        let scaler = ContextScaler::fit(&o.contexts());
+        let scaled = scaler.transform_all(&o.contexts());
+        let reward = RewardModel::new(0.0005);
+
+        // Background: 2.5k win/s at 90% edge (capacity ~540/s) — pegged.
+        // Probe: 30 devices × 8 windows through the same fleet.
+        let mut sc = FleetScenario::light_load(FleetScale::Quick);
+        sc.name = "probe_test".into();
+        sc.batch_max = 1;
+        sc.cohorts = vec![
+            CohortSpec::uniform(250, 10, 100.0, 0.0, RoutePlan::Mixture([0.05, 0.90, 0.05])),
+            CohortSpec::uniform(30, 8, 100.0, 0.0, RoutePlan::Fixed(0)),
+        ];
+        let probe = Some(1u32);
+
+        // The paper's regime: REINFORCE against the static table.
+        let delays = crate::experiment::static_delay_table(&sc.topology(), sc.payload_bytes);
+        let mut static_trainer =
+            PolicyTrainer::new(PolicyNetwork::new(scaler.dim(), 16, 3, 0), quick_config(40));
+        static_trainer.train_with_delays(&scaled, &mut |i, a| o.correct(i, a), &delays, &reward);
+        let mut static_policy = static_trainer.into_policy();
+
+        // Ours: trained inside the loaded fleet.
+        let out = train_policy_in_fleet(&sc, &o, &scaler, &reward, 16, quick_config(12), probe);
+        let mut fleet_policy = out.policy;
+
+        let eval = |policy: &mut PolicyNetwork| {
+            stream_through_fleet(
+                &sc,
+                &o,
+                SchemeKind::Adaptive,
+                Some(policy),
+                Some(&scaler),
+                &reward,
+                probe,
+            )
+        };
+        let r_static = eval(&mut static_policy);
+        let r_fleet = eval(&mut fleet_policy);
+        assert!(
+            r_fleet.mean_reward_x100 > r_static.mean_reward_x100,
+            "fleet-trained {:.2} must beat static {:.2} under background saturation",
+            r_fleet.mean_reward_x100,
+            r_static.mean_reward_x100
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty oracle")]
+    fn empty_oracle_rejected() {
+        let o = Oracle {
+            outcomes: vec![],
+            thresholds: [0.0; 3],
+            flag_fraction: 0.0,
+            confidence: ConfidenceRule::default(),
+        };
+        let scaler = ContextScaler::fit(&[vec![0.0]]);
+        let _ = train_policy_in_fleet(
+            &hot_scenario(),
+            &o,
+            &scaler,
+            &RewardModel::new(0.0005),
+            8,
+            quick_config(1),
+            None,
+        );
+    }
+}

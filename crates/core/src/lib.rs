@@ -17,7 +17,11 @@
 //!   harness;
 //! * [`stream`] — the demo result panel's streaming series (Fig. 3b) and
 //!   the closed-loop fleet streaming driver (windows → policy actions →
-//!   discrete-event fleet sim, so the bandit's action changes queueing);
+//!   discrete-event fleet sim, so the bandit's action changes queueing),
+//!   with native routing for load-aware policies;
+//! * [`fleet_train`] — fleet-in-the-loop bandit training: the policy
+//!   trains *inside* the discrete-event simulator on observed
+//!   load-dependent delays and live queue-state context features;
 //! * [`ablation`] — α sweeps, baseline ablation, bandit-solver comparison
 //!   and confidence-rule sweeps (DESIGN.md §5);
 //! * [`parallel`] — scoped-thread helpers (`HEC_THREADS` override) behind
@@ -29,13 +33,17 @@
 
 pub mod ablation;
 pub mod experiment;
+pub mod fleet_train;
 pub mod oracle;
 pub mod parallel;
 pub mod report;
 pub mod scheme;
 pub mod stream;
 
-pub use experiment::{DatasetConfig, Experiment, ExperimentConfig, ExperimentReport};
+pub use experiment::{
+    static_delay_table, DatasetConfig, Experiment, ExperimentConfig, ExperimentReport,
+};
+pub use fleet_train::{train_policy_in_fleet, FleetTrainOutcome};
 pub use oracle::{Oracle, WindowOutcome};
 pub use report::{format_table1, format_table2, Table1Row, Table2Row};
 pub use scheme::{SchemeEvaluator, SchemeKind, SchemeOutcome, SchemeResult};

@@ -297,14 +297,12 @@ mod tests {
         let scaler = ContextScaler::fit(&contexts);
         let scaled = scaler.transform_all(&contexts);
         let reward = RewardModel::new(0.0005);
+        let delays = crate::experiment::static_delay_table(&topo, 384);
         let mut trainer = hec_bandit::PolicyTrainer::new(
             PolicyNetwork::new(2, 32, 3, 4),
             hec_bandit::TrainConfig { epochs: 40, learning_rate: 5e-3, ..Default::default() },
         );
-        let mut reward_of = |i: usize, a: usize| -> f32 {
-            reward.reward(oracle.correct(i, a), topo.end_to_end_ms(a, 384)) as f32
-        };
-        trainer.train(&scaled, &mut reward_of);
+        trainer.train_with_delays(&scaled, &mut |i, a| oracle.correct(i, a), &delays, &reward);
         let mut policy = trainer.into_policy();
 
         let adaptive = ev.evaluate(SchemeKind::Adaptive, &oracle, Some(&mut policy), Some(&scaler));
@@ -343,14 +341,12 @@ mod tests {
         let scaler = ContextScaler::fit(&contexts);
         let scaled = scaler.transform_all(&contexts);
         let reward = RewardModel::new(0.0005);
+        let delays = crate::experiment::static_delay_table(&topo, 384);
         let mut trainer = hec_bandit::PolicyTrainer::new(
             PolicyNetwork::new(2, 16, 3, 4),
             hec_bandit::TrainConfig { epochs: 8, ..Default::default() },
         );
-        let mut reward_of = |i: usize, a: usize| -> f32 {
-            reward.reward(oracle.correct(i, a), topo.end_to_end_ms(a, 384)) as f32
-        };
-        trainer.train(&scaled, &mut reward_of);
+        trainer.train_with_delays(&scaled, &mut |i, a| oracle.correct(i, a), &delays, &reward);
         let mut policy = trainer.into_policy();
 
         let mut run = |threads: usize| -> Vec<SchemeResult> {

@@ -12,14 +12,32 @@
 //!
 //! Service times come from the topology's [`HecTopology::exec_ms`] ladder,
 //! concurrency limits from [`crate::DeviceProfile::concurrency`], and link
-//! contention from the scenario's bandwidth overrides. Detection delay is
-//! therefore *load-dependent*: the same action costs more under queueing.
+//! contention from the scenario's bandwidth overrides. Cohorts may be
+//! heterogeneous: per-cohort payload sizes change link serialisation and
+//! per-cohort `local_speed` scales the layer-0 execution time. Detection
+//! delay is therefore *load-dependent*: the same action costs more under
+//! queueing.
+//!
+//! The engine comes in two shapes sharing one implementation:
+//!
+//! * [`FleetSim::run_with`] — the push driver: run to completion with a
+//!   router and an observer callback (scenario replays, CSV exports);
+//! * [`FleetEngine::step`] — the pull driver: advance the virtual clock
+//!   until the *next* per-window outcome ([`JobEvent::Served`] /
+//!   [`JobEvent::Dropped`]) and return it. This is what closes the
+//!   training loop: a caller can route a window, observe its simulated
+//!   load-dependent completion, update the policy, and keep going —
+//!   without re-running whole scenarios.
 //!
 //! The engine is single-threaded and fully deterministic — same scenario,
 //! same seed ⇒ byte-identical [`FleetReport`] regardless of host thread
-//! count or `HEC_THREADS`. The hot path is batched: one emission event
-//! injects a whole phase bucket of windows, and a freed server dequeues
-//! jobs in batches, so millions of windows cost only a few events each.
+//! count or `HEC_THREADS`, and the step-wise API yields exactly the event
+//! sequence the push driver reports. The hot path is batched: one
+//! emission event injects a whole phase bucket of windows, and a freed
+//! server dequeues jobs in batches, so millions of windows cost only a
+//! few events each.
+
+use std::collections::VecDeque;
 
 use crate::event::EventQueue;
 use crate::topology::HecTopology;
@@ -103,9 +121,9 @@ struct LayerState {
     exec_ms: f64,
     /// One-way propagation, ms (half the round trip).
     prop_ms: f64,
-    /// `Some` when the uplink is bandwidth-capped: the PS resource plus
-    /// the per-window serialisation time at full bandwidth, ms.
-    link: Option<(PsResource, f64)>,
+    /// `Some` when the uplink is bandwidth-capped (the per-window
+    /// serialisation work is per-cohort, see `FleetEngine::ser_ms`).
+    link: Option<PsResource>,
     /// Shared compute stage (`None` for layer 0).
     stage: Option<Stage>,
     offered: u64,
@@ -117,62 +135,75 @@ struct LayerState {
     latency: LatencyHist,
 }
 
-/// A configured fleet simulation, ready to run.
-pub struct FleetSim<'a> {
-    scenario: &'a FleetScenario,
-    topology: HecTopology,
+/// A resumable, step-wise fleet simulation: the pull-driven core behind
+/// [`FleetSim`].
+///
+/// [`FleetEngine::step`] advances the virtual clock until the next
+/// per-window outcome and returns it; the caller supplies the router on
+/// every call, so routing state (e.g. a policy network being trained on
+/// the observed completions) can be mutated *between* steps. Once `step`
+/// returns `None` the run is complete and [`FleetEngine::report`] renders
+/// the same [`FleetReport`] the push driver would have produced.
+pub struct FleetEngine<'a> {
+    sc: &'a FleetScenario,
+    topo: HecTopology,
+    k: usize,
+    layers: Vec<LayerState>,
+    q: EventQueue<Ev>,
+    /// First global device id of each cohort.
+    bases: Vec<u32>,
+    bucket_count: Vec<u32>,
+    ticks: Vec<Vec<u32>>,
+    /// Per-cohort layer-0 execution time (heterogeneous `local_speed`).
+    exec0: Vec<f64>,
+    /// Per-cohort per-layer link serialisation work, ms at full bandwidth
+    /// (`None` for uncapped links; heterogeneous payloads).
+    ser_ms: Vec<Vec<Option<f64>>>,
+    total_devices: u64,
+    busy_until: Vec<f64>,
+    local_inflight: usize,
+    next_seq: u64,
+    emitted: u64,
+    events: u64,
+    depth_scratch: Vec<usize>,
+    link_scratch: Vec<usize>,
+    done_buf: Vec<JobRec>,
+    trace: Vec<TraceSample>,
+    last_activity_ms: f64,
+    /// Outcomes produced by processed events, not yet handed to the caller.
+    pending: VecDeque<JobEvent>,
 }
 
-impl<'a> FleetSim<'a> {
-    /// Prepares a simulation on the scenario's own topology
+impl<'a> FleetEngine<'a> {
+    /// Prepares an engine on the scenario's own topology
     /// ([`FleetScenario::topology`]).
     pub fn new(scenario: &'a FleetScenario) -> Self {
         let topology = scenario.topology();
         Self::with_topology(scenario, topology)
     }
 
-    /// Prepares a simulation on an explicit topology (the scenario's
+    /// Prepares an engine on an explicit topology (the scenario's
     /// bandwidth overrides are ignored; the topology is taken as-is).
-    pub fn with_topology(scenario: &'a FleetScenario, topology: HecTopology) -> Self {
-        assert!(!scenario.cohorts.is_empty(), "scenario has no cohorts");
-        Self { scenario, topology }
-    }
-
-    /// Runs the scenario with its own routing plans and no observer.
-    pub fn run(&self) -> FleetReport {
-        let seed = self.scenario.seed;
-        let cohorts = &self.scenario.cohorts;
-        let mut router =
-            |ctx: &RouteCtx| cohorts[ctx.cohort as usize].route.layer_for(seed, ctx.seq);
-        self.run_with(&mut router, &mut |_| {})
-    }
-
-    /// Runs with a custom router (e.g. a trained policy choosing the
-    /// action per window) and an observer receiving every per-window
-    /// [`JobEvent`] in deterministic order.
     ///
     /// # Panics
     ///
-    /// Panics if the router returns a layer outside the topology.
-    pub fn run_with(
-        &self,
-        router: &mut dyn FnMut(&RouteCtx) -> usize,
-        observer: &mut dyn FnMut(&JobEvent),
-    ) -> FleetReport {
-        let sc = self.scenario;
-        let topo = &self.topology;
+    /// Panics if the scenario has no cohorts or a cohort's `local_speed`
+    /// is invalid.
+    pub fn with_topology(scenario: &'a FleetScenario, topology: HecTopology) -> Self {
+        assert!(!scenario.cohorts.is_empty(), "scenario has no cohorts");
+        let sc = scenario;
+        let topo = topology;
         let k = topo.num_layers();
         let total_devices: u64 = sc.total_devices();
-        let payload_bits = sc.payload_bytes as f64 * 8.0;
 
-        // --- Per-layer state -------------------------------------------
-        let mut layers: Vec<LayerState> = (0..k)
+        let layers: Vec<LayerState> = (0..k)
             .map(|l| {
                 let spec = &topo.layers()[l];
-                let link = spec.uplink.bandwidth_mbps.filter(|_| l > 0).map(|mbps| {
-                    let ser_ms = payload_bits / (mbps * 1e6) * 1e3;
-                    (PsResource::new(1.0, f64::INFINITY, sc.link_max_inflight), ser_ms)
-                });
+                let link = spec
+                    .uplink
+                    .bandwidth_mbps
+                    .filter(|_| l > 0)
+                    .map(|_| PsResource::new(1.0, f64::INFINITY, sc.link_max_inflight));
                 let stage = (l > 0).then(|| {
                     let servers = spec.device.concurrency.max(1);
                     match sc.discipline {
@@ -205,10 +236,29 @@ impl<'a> FleetSim<'a> {
             })
             .collect();
 
-        // --- Emission schedule -----------------------------------------
-        // Devices of cohort c occupy the contiguous id range starting at
-        // `bases[c]`; each cohort's devices are spread over `buckets`
-        // phase offsets within the period, one Emit event per bucket tick.
+        // Per-cohort heterogeneity tables.
+        let exec0: Vec<f64> = sc.cohorts.iter().map(|c| c.local_exec_ms(topo.exec_ms(0))).collect();
+        let ser_ms: Vec<Vec<Option<f64>>> = sc
+            .cohorts
+            .iter()
+            .map(|c| {
+                let bits = c.payload_or(sc.payload_bytes) as f64 * 8.0;
+                (0..k)
+                    .map(|l| {
+                        topo.layers()[l]
+                            .uplink
+                            .bandwidth_mbps
+                            .filter(|_| l > 0)
+                            .map(|mbps| bits / (mbps * 1e6) * 1e3)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Emission schedule: devices of cohort c occupy the contiguous id
+        // range starting at `bases[c]`; each cohort's devices are spread
+        // over `buckets` phase offsets within the period, one Emit event
+        // per bucket tick.
         let mut bases: Vec<u32> = Vec::with_capacity(sc.cohorts.len());
         let mut next = 0u32;
         for c in &sc.cohorts {
@@ -217,320 +267,365 @@ impl<'a> FleetSim<'a> {
         }
         let bucket_count: Vec<u32> =
             sc.cohorts.iter().map(|c| sc.emit_buckets.clamp(1, c.devices.max(1))).collect();
-        let mut ticks: Vec<Vec<u32>> =
-            bucket_count.iter().map(|&b| vec![0u32; b as usize]).collect();
-        let bucket_range = |c: usize, b: u32| -> (u32, u32) {
-            let devices = sc.cohorts[c].devices;
-            let buckets = bucket_count[c];
-            let base = devices / buckets;
-            let rem = devices % buckets;
-            let lo = b * base + b.min(rem);
-            let hi = lo + base + u32::from(b < rem);
-            (lo, hi)
-        };
-        let emit_time = |c: usize, b: u32, tick: u32| -> f64 {
-            let spec = &sc.cohorts[c];
-            let phase = spec.period_ms * (b as f64 / bucket_count[c] as f64);
-            spec.start_ms + tick as f64 * spec.period_ms + phase
+        let ticks: Vec<Vec<u32>> = bucket_count.iter().map(|&b| vec![0u32; b as usize]).collect();
+
+        let mut engine = Self {
+            sc,
+            topo,
+            k,
+            layers,
+            q: EventQueue::new(),
+            bases,
+            bucket_count,
+            ticks,
+            exec0,
+            ser_ms,
+            total_devices,
+            busy_until: vec![0.0f64; total_devices as usize],
+            local_inflight: 0,
+            next_seq: 0,
+            emitted: 0,
+            events: 0,
+            depth_scratch: vec![0usize; k],
+            link_scratch: vec![0usize; k],
+            done_buf: Vec::with_capacity(sc.batch_max.max(16)),
+            trace: Vec::new(),
+            last_activity_ms: 0.0,
+            pending: VecDeque::new(),
         };
 
-        let mut q: EventQueue<Ev> = EventQueue::new();
         for (c, spec) in sc.cohorts.iter().enumerate() {
             if spec.devices == 0 || spec.windows_per_device == 0 {
                 continue;
             }
-            for b in 0..bucket_count[c] {
-                q.schedule(emit_time(c, b, 0), Ev::Emit { cohort: c as u32, bucket: b });
+            for b in 0..engine.bucket_count[c] {
+                engine
+                    .q
+                    .schedule(engine.emit_time(c, b, 0), Ev::Emit { cohort: c as u32, bucket: b });
             }
         }
         if sc.max_trace_samples > 0 {
-            q.schedule(0.0, Ev::Trace);
+            engine.q.schedule(0.0, Ev::Trace);
         }
+        engine
+    }
 
-        // --- Mutable run state -----------------------------------------
-        let mut busy_until = vec![0.0f64; total_devices as usize];
-        let mut local_inflight: usize = 0;
-        let mut next_seq: u64 = 0;
-        let mut emitted: u64 = 0;
-        let mut events: u64 = 0;
-        let mut depth_scratch = vec![0usize; k];
-        let mut link_scratch = vec![0usize; k];
-        let mut done_buf: Vec<JobRec> = Vec::with_capacity(sc.batch_max.max(16));
-        let mut trace: Vec<TraceSample> = Vec::new();
+    /// Windows emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
 
-        let exec0 = layers[0].exec_ms;
+    /// Device-id range `(lo, hi)` of bucket `b` within cohort `c`.
+    fn bucket_range(&self, c: usize, b: u32) -> (u32, u32) {
+        let devices = self.sc.cohorts[c].devices;
+        let buckets = self.bucket_count[c];
+        let base = devices / buckets;
+        let rem = devices % buckets;
+        let lo = b * base + b.min(rem);
+        let hi = lo + base + u32::from(b < rem);
+        (lo, hi)
+    }
 
-        // --- Event loop ------------------------------------------------
-        // Horizon = time of the last *activity* event; a trailing Trace
-        // tick must not stretch the utilization denominators.
-        let mut last_activity_ms = 0.0f64;
-        while let Some((now, ev)) = q.pop() {
-            events += 1;
-            if !matches!(ev, Ev::Trace) {
-                last_activity_ms = now;
+    /// Virtual time at which bucket `b` of cohort `c` emits tick `tick`.
+    fn emit_time(&self, c: usize, b: u32, tick: u32) -> f64 {
+        let spec = &self.sc.cohorts[c];
+        let phase = spec.period_ms * (b as f64 / self.bucket_count[c] as f64);
+        spec.start_ms + tick as f64 * spec.period_ms + phase
+    }
+
+    /// Advances the simulation until the next per-window outcome and
+    /// returns it, or `None` when every event has been processed. The
+    /// router is consulted (in deterministic emission order) for each
+    /// window emitted along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router returns a layer outside the topology.
+    pub fn step(&mut self, router: &mut dyn FnMut(&RouteCtx) -> usize) -> Option<JobEvent> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                return Some(ev);
             }
-            match ev {
-                Ev::Emit { cohort, bucket } => {
-                    let c = cohort as usize;
-                    for (l, layer) in layers.iter().enumerate() {
-                        depth_scratch[l] = match &layer.stage {
-                            Some(Stage::Fifo(f)) => f.depth(),
-                            Some(Stage::Ps(ps)) => ps.inflight(),
-                            None => local_inflight,
-                        };
-                        link_scratch[l] = layer.link.as_ref().map_or(0, |(ps, _)| ps.inflight());
+            let (now, ev) = self.q.pop()?;
+            self.events += 1;
+            if !matches!(ev, Ev::Trace) {
+                self.last_activity_ms = now;
+            }
+            self.dispatch(now, ev, router);
+        }
+    }
+
+    /// Handles one discrete event, appending any per-window outcomes to
+    /// `self.pending`.
+    fn dispatch(&mut self, now: f64, ev: Ev, router: &mut dyn FnMut(&RouteCtx) -> usize) {
+        match ev {
+            Ev::Emit { cohort, bucket } => {
+                let c = cohort as usize;
+                for (l, layer) in self.layers.iter().enumerate() {
+                    self.depth_scratch[l] = match &layer.stage {
+                        Some(Stage::Fifo(f)) => f.depth(),
+                        Some(Stage::Ps(ps)) => ps.inflight(),
+                        None => self.local_inflight,
+                    };
+                    self.link_scratch[l] = layer.link.as_ref().map_or(0, PsResource::inflight);
+                }
+                let (lo, hi) = self.bucket_range(c, bucket);
+                let exec0 = self.exec0[c];
+                for local in lo..hi {
+                    let device = self.bases[c] + local;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.emitted += 1;
+                    let ctx = RouteCtx {
+                        device,
+                        seq,
+                        cohort,
+                        now_ms: now,
+                        queue_depth: &self.depth_scratch,
+                        link_inflight: &self.link_scratch,
+                    };
+                    let target = router(&ctx);
+                    assert!(target < self.k, "router chose layer {target} of {}", self.k);
+                    let layer = &mut self.layers[target];
+                    layer.offered += 1;
+                    if target == 0 {
+                        // Dedicated per-device server: the device's own
+                        // backlog is the queue.
+                        let d = device as usize;
+                        let start = self.busy_until[d].max(now);
+                        if start - now > self.sc.local_backlog_ms {
+                            layer.dropped_queue += 1;
+                            self.pending.push_back(JobEvent::Dropped {
+                                seq,
+                                device,
+                                layer: 0,
+                                reason: DropReason::QueueFull,
+                            });
+                        } else {
+                            let finish = start + exec0;
+                            self.busy_until[d] = finish;
+                            layer.busy_ms += exec0;
+                            layer.served += 1;
+                            let latency = finish - now;
+                            layer.latency.record(latency);
+                            self.local_inflight += 1;
+                            self.q.schedule(finish, Ev::LocalDone);
+                            self.pending.push_back(JobEvent::Served {
+                                seq,
+                                device,
+                                layer: 0,
+                                latency_ms: latency,
+                            });
+                        }
+                    } else {
+                        let job = JobRec { emit_ms: now, seq, device };
+                        match (&mut layer.link, self.ser_ms[c][target]) {
+                            (Some(ps), Some(work)) => {
+                                if ps.offer(now, work, job) {
+                                    layer.link_work_ms += work;
+                                    let t = ps.next_completion_ms().expect("just offered").max(now);
+                                    self.q.schedule(
+                                        t,
+                                        Ev::LinkDone { layer: target as u8, epoch: ps.epoch },
+                                    );
+                                } else {
+                                    layer.dropped_link += 1;
+                                    self.pending.push_back(JobEvent::Dropped {
+                                        seq,
+                                        device,
+                                        layer: target,
+                                        reason: DropReason::LinkSaturated,
+                                    });
+                                }
+                            }
+                            _ => {
+                                let arrive = now + layer.prop_ms;
+                                self.q.schedule(
+                                    arrive,
+                                    Ev::ComputeArrive { layer: target as u8, job },
+                                );
+                            }
+                        }
                     }
-                    let (lo, hi) = bucket_range(c, bucket);
-                    for local in lo..hi {
-                        let device = bases[c] + local;
-                        let seq = next_seq;
-                        next_seq += 1;
-                        emitted += 1;
-                        let ctx = RouteCtx {
-                            device,
-                            seq,
-                            cohort,
-                            now_ms: now,
-                            queue_depth: &depth_scratch,
-                            link_inflight: &link_scratch,
-                        };
-                        let target = router(&ctx);
-                        assert!(target < k, "router chose layer {target} of {k}");
-                        let layer = &mut layers[target];
-                        layer.offered += 1;
-                        if target == 0 {
-                            // Dedicated per-device server: the device's own
-                            // backlog is the queue.
-                            let d = device as usize;
-                            let start = busy_until[d].max(now);
-                            if start - now > sc.local_backlog_ms {
-                                layer.dropped_queue += 1;
-                                observer(&JobEvent::Dropped {
-                                    seq,
-                                    device,
-                                    layer: 0,
-                                    reason: DropReason::QueueFull,
-                                });
-                            } else {
-                                let finish = start + exec0;
-                                busy_until[d] = finish;
-                                layer.busy_ms += exec0;
-                                layer.served += 1;
-                                let latency = finish - now;
-                                layer.latency.record(latency);
-                                local_inflight += 1;
-                                q.schedule(finish, Ev::LocalDone);
-                                observer(&JobEvent::Served {
-                                    seq,
-                                    device,
-                                    layer: 0,
-                                    latency_ms: latency,
-                                });
+                }
+                let tick = self.ticks[c][bucket as usize] + 1;
+                self.ticks[c][bucket as usize] = tick;
+                if tick < self.sc.cohorts[c].windows_per_device {
+                    self.q.schedule(self.emit_time(c, bucket, tick), Ev::Emit { cohort, bucket });
+                }
+            }
+
+            Ev::LinkDone { layer, epoch } => {
+                let l = layer as usize;
+                let lay = &mut self.layers[l];
+                let prop = lay.prop_ms;
+                let ps = lay.link.as_mut().expect("LinkDone on uncapped link");
+                if epoch != ps.epoch {
+                    return; // superseded by a later arrival/completion
+                }
+                self.done_buf.clear();
+                ps.pop_due_into(now, &mut self.done_buf);
+                if let Some(t) = ps.next_completion_ms() {
+                    self.q.schedule(t.max(now), Ev::LinkDone { layer, epoch: ps.epoch });
+                }
+                for job in self.done_buf.drain(..) {
+                    self.q.schedule(now + prop, Ev::ComputeArrive { layer, job });
+                }
+            }
+
+            Ev::ComputeArrive { layer, job } => {
+                let l = layer as usize;
+                let lay = &mut self.layers[l];
+                let exec = lay.exec_ms;
+                match lay.stage.as_mut().expect("compute on shared layer") {
+                    Stage::Fifo(queue) => {
+                        if queue.offer(job) {
+                            while let Some((slot, dur)) = queue.dispatch(exec) {
+                                lay.busy_ms += dur;
+                                self.q.schedule(
+                                    now + dur,
+                                    Ev::ComputeDone { layer, slot: slot as u32 },
+                                );
                             }
                         } else {
-                            let job = JobRec { emit_ms: now, seq, device };
-                            match &mut layer.link {
-                                Some((ps, ser_ms)) => {
-                                    let work = *ser_ms;
-                                    if ps.offer(now, work, job) {
-                                        layer.link_work_ms += work;
-                                        let t =
-                                            ps.next_completion_ms().expect("just offered").max(now);
-                                        q.schedule(
-                                            t,
-                                            Ev::LinkDone { layer: target as u8, epoch: ps.epoch },
-                                        );
-                                    } else {
-                                        layer.dropped_link += 1;
-                                        observer(&JobEvent::Dropped {
-                                            seq,
-                                            device,
-                                            layer: target,
-                                            reason: DropReason::LinkSaturated,
-                                        });
-                                    }
-                                }
-                                None => {
-                                    let arrive = now + layer.prop_ms;
-                                    q.schedule(
-                                        arrive,
-                                        Ev::ComputeArrive { layer: target as u8, job },
-                                    );
-                                }
-                            }
+                            lay.dropped_queue += 1;
+                            self.pending.push_back(JobEvent::Dropped {
+                                seq: job.seq,
+                                device: job.device,
+                                layer: l,
+                                reason: DropReason::QueueFull,
+                            });
                         }
                     }
-                    let tick = ticks[c][bucket as usize] + 1;
-                    ticks[c][bucket as usize] = tick;
-                    if tick < sc.cohorts[c].windows_per_device {
-                        q.schedule(emit_time(c, bucket, tick), Ev::Emit { cohort, bucket });
-                    }
-                }
-
-                Ev::LinkDone { layer, epoch } => {
-                    let l = layer as usize;
-                    let lay = &mut layers[l];
-                    let prop = lay.prop_ms;
-                    let (ps, _) = lay.link.as_mut().expect("LinkDone on uncapped link");
-                    if epoch != ps.epoch {
-                        continue; // superseded by a later arrival/completion
-                    }
-                    done_buf.clear();
-                    ps.pop_due_into(now, &mut done_buf);
-                    if let Some(t) = ps.next_completion_ms() {
-                        q.schedule(t.max(now), Ev::LinkDone { layer, epoch: ps.epoch });
-                    }
-                    for job in done_buf.drain(..) {
-                        q.schedule(now + prop, Ev::ComputeArrive { layer, job });
-                    }
-                }
-
-                Ev::ComputeArrive { layer, job } => {
-                    let l = layer as usize;
-                    let lay = &mut layers[l];
-                    let exec = lay.exec_ms;
-                    match lay.stage.as_mut().expect("compute on shared layer") {
-                        Stage::Fifo(queue) => {
-                            if queue.offer(job) {
-                                while let Some((slot, dur)) = queue.dispatch(exec) {
-                                    lay.busy_ms += dur;
-                                    q.schedule(
-                                        now + dur,
-                                        Ev::ComputeDone { layer, slot: slot as u32 },
-                                    );
-                                }
-                            } else {
-                                lay.dropped_queue += 1;
-                                observer(&JobEvent::Dropped {
-                                    seq: job.seq,
-                                    device: job.device,
-                                    layer: l,
-                                    reason: DropReason::QueueFull,
-                                });
-                            }
+                    Stage::Ps(ps) => {
+                        if ps.offer(now, exec, job) {
+                            let t = ps.next_completion_ms().expect("just offered").max(now);
+                            self.q.schedule(t, Ev::PsComputeDone { layer, epoch: ps.epoch });
+                        } else {
+                            lay.dropped_queue += 1;
+                            self.pending.push_back(JobEvent::Dropped {
+                                seq: job.seq,
+                                device: job.device,
+                                layer: l,
+                                reason: DropReason::QueueFull,
+                            });
                         }
-                        Stage::Ps(ps) => {
-                            if ps.offer(now, exec, job) {
-                                let t = ps.next_completion_ms().expect("just offered").max(now);
-                                q.schedule(t, Ev::PsComputeDone { layer, epoch: ps.epoch });
-                            } else {
-                                lay.dropped_queue += 1;
-                                observer(&JobEvent::Dropped {
-                                    seq: job.seq,
-                                    device: job.device,
-                                    layer: l,
-                                    reason: DropReason::QueueFull,
-                                });
-                            }
-                        }
-                    }
-                }
-
-                Ev::ComputeDone { layer, slot } => {
-                    let l = layer as usize;
-                    let lay = &mut layers[l];
-                    let prop = lay.prop_ms;
-                    let exec = lay.exec_ms;
-                    done_buf.clear();
-                    let Some(Stage::Fifo(queue)) = lay.stage.as_mut() else {
-                        unreachable!("ComputeDone on a non-FIFO layer");
-                    };
-                    queue.complete_into(slot as usize, &mut done_buf);
-                    for job in done_buf.drain(..) {
-                        let latency = now + prop - job.emit_ms;
-                        lay.served += 1;
-                        lay.latency.record(latency);
-                        observer(&JobEvent::Served {
-                            seq: job.seq,
-                            device: job.device,
-                            layer: l,
-                            latency_ms: latency,
-                        });
-                    }
-                    while let Some((slot, dur)) = queue.dispatch(exec) {
-                        lay.busy_ms += dur;
-                        q.schedule(now + dur, Ev::ComputeDone { layer, slot: slot as u32 });
-                    }
-                }
-
-                Ev::PsComputeDone { layer, epoch } => {
-                    let l = layer as usize;
-                    let lay = &mut layers[l];
-                    let prop = lay.prop_ms;
-                    let exec = lay.exec_ms;
-                    let Some(Stage::Ps(ps)) = lay.stage.as_mut() else {
-                        unreachable!("PsComputeDone on a non-PS layer");
-                    };
-                    if epoch != ps.epoch {
-                        continue;
-                    }
-                    done_buf.clear();
-                    ps.pop_due_into(now, &mut done_buf);
-                    if let Some(t) = ps.next_completion_ms() {
-                        q.schedule(t.max(now), Ev::PsComputeDone { layer, epoch: ps.epoch });
-                    }
-                    for job in done_buf.drain(..) {
-                        let latency = now + prop - job.emit_ms;
-                        lay.served += 1;
-                        lay.busy_ms += exec;
-                        lay.latency.record(latency);
-                        observer(&JobEvent::Served {
-                            seq: job.seq,
-                            device: job.device,
-                            layer: l,
-                            latency_ms: latency,
-                        });
-                    }
-                }
-
-                Ev::LocalDone => {
-                    local_inflight -= 1;
-                }
-
-                Ev::Trace => {
-                    let sample = TraceSample {
-                        t_ms: now,
-                        queue_depth: layers
-                            .iter()
-                            .map(|layer| match &layer.stage {
-                                Some(Stage::Fifo(f)) => f.depth(),
-                                Some(Stage::Ps(ps)) => ps.inflight(),
-                                None => local_inflight,
-                            })
-                            .collect(),
-                        link_inflight: layers
-                            .iter()
-                            .map(|layer| layer.link.as_ref().map_or(0, |(ps, _)| ps.inflight()))
-                            .collect(),
-                    };
-                    trace.push(sample);
-                    if trace.len() < sc.max_trace_samples && q.peek_time_ms().is_some() {
-                        q.schedule_in(sc.trace_interval_ms, Ev::Trace);
                     }
                 }
             }
-        }
 
-        // --- Report ----------------------------------------------------
-        let horizon = last_activity_ms.max(1e-9);
+            Ev::ComputeDone { layer, slot } => {
+                let l = layer as usize;
+                let lay = &mut self.layers[l];
+                let prop = lay.prop_ms;
+                let exec = lay.exec_ms;
+                self.done_buf.clear();
+                let Some(Stage::Fifo(queue)) = lay.stage.as_mut() else {
+                    unreachable!("ComputeDone on a non-FIFO layer");
+                };
+                queue.complete_into(slot as usize, &mut self.done_buf);
+                for job in self.done_buf.drain(..) {
+                    let latency = now + prop - job.emit_ms;
+                    lay.served += 1;
+                    lay.latency.record(latency);
+                    self.pending.push_back(JobEvent::Served {
+                        seq: job.seq,
+                        device: job.device,
+                        layer: l,
+                        latency_ms: latency,
+                    });
+                }
+                while let Some((slot, dur)) = queue.dispatch(exec) {
+                    lay.busy_ms += dur;
+                    self.q.schedule(now + dur, Ev::ComputeDone { layer, slot: slot as u32 });
+                }
+            }
+
+            Ev::PsComputeDone { layer, epoch } => {
+                let l = layer as usize;
+                let lay = &mut self.layers[l];
+                let prop = lay.prop_ms;
+                let exec = lay.exec_ms;
+                let Some(Stage::Ps(ps)) = lay.stage.as_mut() else {
+                    unreachable!("PsComputeDone on a non-PS layer");
+                };
+                if epoch != ps.epoch {
+                    return;
+                }
+                self.done_buf.clear();
+                ps.pop_due_into(now, &mut self.done_buf);
+                if let Some(t) = ps.next_completion_ms() {
+                    self.q.schedule(t.max(now), Ev::PsComputeDone { layer, epoch: ps.epoch });
+                }
+                for job in self.done_buf.drain(..) {
+                    let latency = now + prop - job.emit_ms;
+                    lay.served += 1;
+                    lay.busy_ms += exec;
+                    lay.latency.record(latency);
+                    self.pending.push_back(JobEvent::Served {
+                        seq: job.seq,
+                        device: job.device,
+                        layer: l,
+                        latency_ms: latency,
+                    });
+                }
+            }
+
+            Ev::LocalDone => {
+                self.local_inflight -= 1;
+            }
+
+            Ev::Trace => {
+                let sample = TraceSample {
+                    t_ms: now,
+                    queue_depth: self
+                        .layers
+                        .iter()
+                        .map(|layer| match &layer.stage {
+                            Some(Stage::Fifo(f)) => f.depth(),
+                            Some(Stage::Ps(ps)) => ps.inflight(),
+                            None => self.local_inflight,
+                        })
+                        .collect(),
+                    link_inflight: self
+                        .layers
+                        .iter()
+                        .map(|layer| layer.link.as_ref().map_or(0, PsResource::inflight))
+                        .collect(),
+                };
+                self.trace.push(sample);
+                if self.trace.len() < self.sc.max_trace_samples && self.q.peek_time_ms().is_some() {
+                    self.q.schedule_in(self.sc.trace_interval_ms, Ev::Trace);
+                }
+            }
+        }
+    }
+
+    /// Renders the run's report. Normally called after [`FleetEngine::
+    /// step`] returns `None`; calling earlier reports the progress so far
+    /// (utilization denominators use the last processed activity time).
+    pub fn report(&self) -> FleetReport {
+        let sc = self.sc;
+        let horizon = self.last_activity_ms.max(1e-9);
         let mut overall = LatencyHist::new();
         let mut served = 0u64;
         let mut dropped = 0u64;
-        let summaries: Vec<LayerSummary> = layers
+        let summaries: Vec<LayerSummary> = self
+            .layers
             .iter()
             .enumerate()
             .map(|(l, layer)| {
                 let servers = if l == 0 {
-                    total_devices.max(1) as f64
+                    self.total_devices.max(1) as f64
                 } else {
-                    topo.layers()[l].device.concurrency.max(1) as f64
+                    self.topo.layers()[l].device.concurrency.max(1) as f64
                 };
                 served += layer.served;
                 dropped += layer.dropped_queue + layer.dropped_link;
                 overall.merge(&layer.latency);
                 LayerSummary {
                     layer: l,
-                    name: topo.layers()[l].device.name.clone(),
+                    name: self.topo.layers()[l].device.name.clone(),
                     offered: layer.offered,
                     served: layer.served,
                     dropped_queue: layer.dropped_queue,
@@ -547,7 +642,7 @@ impl<'a> FleetSim<'a> {
                         Some(Stage::Ps(ps)) => ps.peak_inflight,
                         None => 0,
                     },
-                    peak_link_inflight: layer.link.as_ref().map_or(0, |(ps, _)| ps.peak_inflight),
+                    peak_link_inflight: layer.link.as_ref().map_or(0, |ps| ps.peak_inflight),
                     mean_ms: layer.latency.mean(),
                     p50_ms: layer.latency.quantile(0.50),
                     p99_ms: layer.latency.quantile(0.99),
@@ -558,17 +653,66 @@ impl<'a> FleetSim<'a> {
 
         FleetReport {
             scenario: sc.name.clone(),
-            horizon_ms: last_activity_ms,
-            events,
-            emitted,
+            horizon_ms: self.last_activity_ms,
+            events: self.events,
+            emitted: self.emitted,
             served,
             dropped,
             layers: summaries,
             overall_mean_ms: overall.mean(),
             overall_p50_ms: overall.quantile(0.50),
             overall_p99_ms: overall.quantile(0.99),
-            trace,
+            trace: self.trace.clone(),
         }
+    }
+}
+
+/// A configured fleet simulation, ready to run (the push driver over
+/// [`FleetEngine`]).
+pub struct FleetSim<'a> {
+    scenario: &'a FleetScenario,
+    topology: HecTopology,
+}
+
+impl<'a> FleetSim<'a> {
+    /// Prepares a simulation on the scenario's own topology
+    /// ([`FleetScenario::topology`]).
+    pub fn new(scenario: &'a FleetScenario) -> Self {
+        let topology = scenario.topology();
+        Self::with_topology(scenario, topology)
+    }
+
+    /// Prepares a simulation on an explicit topology (the scenario's
+    /// bandwidth overrides are ignored; the topology is taken as-is).
+    pub fn with_topology(scenario: &'a FleetScenario, topology: HecTopology) -> Self {
+        assert!(!scenario.cohorts.is_empty(), "scenario has no cohorts");
+        Self { scenario, topology }
+    }
+
+    /// Runs the scenario with its own routing plans and no observer.
+    pub fn run(&self) -> FleetReport {
+        let sc = self.scenario;
+        let mut router = |ctx: &RouteCtx| sc.planned_layer(ctx.cohort, ctx.seq);
+        self.run_with(&mut router, &mut |_| {})
+    }
+
+    /// Runs with a custom router (e.g. a trained policy choosing the
+    /// action per window) and an observer receiving every per-window
+    /// [`JobEvent`] in deterministic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router returns a layer outside the topology.
+    pub fn run_with(
+        &self,
+        router: &mut dyn FnMut(&RouteCtx) -> usize,
+        observer: &mut dyn FnMut(&JobEvent),
+    ) -> FleetReport {
+        let mut engine = FleetEngine::with_topology(self.scenario, self.topology.clone());
+        while let Some(ev) = engine.step(router) {
+            observer(&ev);
+        }
+        engine.report()
     }
 }
 
@@ -582,13 +726,7 @@ mod tests {
     fn tiny(devices: u32, windows: u32, period_ms: f64, route: RoutePlan) -> FleetScenario {
         let mut sc = FleetScenario::light_load(FleetScale::Quick);
         sc.name = "tiny".into();
-        sc.cohorts = vec![CohortSpec {
-            devices,
-            windows_per_device: windows,
-            period_ms,
-            start_ms: 0.0,
-            route,
-        }];
+        sc.cohorts = vec![CohortSpec::uniform(devices, windows, period_ms, 0.0, route)];
         sc
     }
 
@@ -728,5 +866,105 @@ mod tests {
         let sc = tiny(1, 1, 10.0, RoutePlan::Fixed(0));
         let mut router = |_: &RouteCtx<'_>| 9usize;
         let _ = FleetSim::new(&sc).run_with(&mut router, &mut |_| {});
+    }
+
+    /// The step-wise engine must yield exactly the event stream and the
+    /// byte-identical report of the push driver.
+    #[test]
+    fn stepwise_engine_matches_push_driver() {
+        let mut sc = tiny(40, 8, 5.0, RoutePlan::Fixed(0));
+        sc.batch_max = 2;
+        let route = |ctx: &RouteCtx| (ctx.seq % 3) as usize;
+
+        let mut pushed: Vec<JobEvent> = Vec::new();
+        let push_report = FleetSim::new(&sc).run_with(&mut { route }, &mut |ev| pushed.push(*ev));
+
+        let mut engine = FleetEngine::new(&sc);
+        let mut pulled: Vec<JobEvent> = Vec::new();
+        while let Some(ev) = engine.step(&mut { route }) {
+            pulled.push(ev);
+        }
+        assert_eq!(pushed, pulled);
+        assert_eq!(push_report, engine.report());
+        assert_eq!(push_report.to_text(), engine.report().to_text());
+        assert_eq!(engine.emitted(), push_report.emitted);
+    }
+
+    /// The step-wise API exists so routing state can change between
+    /// steps: a router that reacts to the previous outcome must be legal
+    /// and deterministic.
+    #[test]
+    fn router_state_can_mutate_between_steps() {
+        let sc = tiny(30, 6, 4.0, RoutePlan::Fixed(0));
+        let run = || {
+            let mut engine = FleetEngine::new(&sc);
+            let mut target = 0usize;
+            let mut outcomes = Vec::new();
+            loop {
+                let ev = engine.step(&mut |_ctx| target);
+                let Some(ev) = ev else { break };
+                // Feedback: a drop pushes subsequent windows up a layer.
+                if matches!(ev, JobEvent::Dropped { .. }) {
+                    target = (target + 1) % 3;
+                }
+                outcomes.push(ev);
+            }
+            (outcomes, engine.report())
+        };
+        let (ev_a, rep_a) = run();
+        let (ev_b, rep_b) = run();
+        assert_eq!(ev_a, ev_b);
+        assert_eq!(rep_a, rep_b);
+    }
+
+    /// A slower cohort pays proportionally more for local execution; a
+    /// heavier-payload cohort pays more link serialisation on a capped
+    /// uplink. Both knobs leave uniform cohorts bit-identical to PR 3.
+    #[test]
+    fn heterogeneous_cohorts_change_latency() {
+        // Two local cohorts, second at half speed → double exec time.
+        let mut sc = tiny(2, 3, 10_000.0, RoutePlan::Fixed(0));
+        sc.cohorts.push(CohortSpec {
+            local_speed: 0.5,
+            ..CohortSpec::uniform(2, 3, 10_000.0, 0.0, RoutePlan::Fixed(0))
+        });
+        let report = FleetSim::new(&sc).run();
+        assert_eq!(report.served, 12);
+        assert!((report.layers[0].max_ms - 24.8).abs() < 1e-9, "{}", report.layers[0].max_ms);
+        // The fast cohort still pays the testbed 12.4 ms (the p50 over
+        // half-fast half-slow sits between the two).
+        assert!(report.layers[0].mean_ms > 12.4 && report.layers[0].mean_ms < 24.8);
+
+        // Two cloud cohorts over a capped link, second with 4× payload.
+        let mut sc = tiny(1, 2, 10_000.0, RoutePlan::Fixed(2));
+        sc.cloud_bandwidth_mbps = Some(1.0);
+        sc.cohorts.push(CohortSpec {
+            payload_bytes: Some(4 * 384),
+            // Offset so transfers never overlap: latency is pure serialisation.
+            ..CohortSpec::uniform(1, 2, 10_000.0, 3_000.0, RoutePlan::Fixed(2))
+        });
+        let report = FleetSim::new(&sc).run();
+        assert_eq!(report.served, 4);
+        // 384 B at 1 Mbit/s = 3.072 ms; 1536 B = 12.288 ms.
+        let base = 504.5;
+        assert_eq!(report.layers[2].served, 4);
+        assert!(
+            (report.layers[2].max_ms - (base + 12.288)).abs() < 1e-6,
+            "max {}",
+            report.layers[2].max_ms
+        );
+        assert!(
+            (report.layers[2].mean_ms - (base + (3.072 + 12.288) / 2.0)).abs() < 1e-6,
+            "mean {}",
+            report.layers[2].mean_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "local_speed must be positive")]
+    fn invalid_local_speed_rejected() {
+        let mut sc = tiny(1, 1, 10.0, RoutePlan::Fixed(0));
+        sc.cohorts[0].local_speed = 0.0;
+        let _ = FleetEngine::new(&sc);
     }
 }

@@ -14,8 +14,12 @@
 //!   with batch dequeue, egalitarian processor sharing (credit-based,
 //!   O(log n) per event);
 //! * [`scenario`] — named workloads at two scales (`light_load`,
-//!   `edge_saturated`, `cloud_link_constrained`, `flash_crowd`);
-//! * [`des`] — the virtual-clock engine on [`crate::EventQueue`];
+//!   `edge_saturated`, `cloud_link_constrained`, `flash_crowd`), with
+//!   per-cohort heterogeneous payloads and local compute speeds;
+//! * [`des`] — the virtual-clock engine on [`crate::EventQueue`]: the
+//!   push driver ([`FleetSim`]) and the resumable step-wise engine
+//!   ([`FleetEngine`]) that lets a caller interleave "route window →
+//!   observe simulated completion → update policy" for in-fleet training;
 //! * [`metrics`] — latency histograms, per-layer utilization/drop
 //!   summaries, queue traces, CSV renderings.
 //!
@@ -31,7 +35,7 @@ pub mod metrics;
 pub mod queueing;
 pub mod scenario;
 
-pub use des::{FleetSim, JobEvent, RouteCtx};
+pub use des::{FleetEngine, FleetSim, JobEvent, RouteCtx};
 pub use metrics::{DropReason, FleetReport, LatencyHist, LayerSummary, TraceSample};
 pub use queueing::{FifoQueue, JobRec, PsResource};
 pub use scenario::{CohortSpec, Discipline, FleetScale, FleetScenario, RoutePlan};

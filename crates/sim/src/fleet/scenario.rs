@@ -52,7 +52,11 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A homogeneous group of devices emitting on a shared schedule.
+/// A group of devices emitting on a shared schedule.
+///
+/// Cohorts are heterogeneous: each may override the scenario's payload
+/// size (different sensors upload different window shapes) and scale its
+/// devices' local compute speed (a fleet mixes hardware generations).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CohortSpec {
     /// Devices in the cohort.
@@ -65,12 +69,58 @@ pub struct CohortSpec {
     pub start_ms: f64,
     /// Routing plan for the cohort's windows.
     pub route: RoutePlan,
+    /// Bytes uploaded per window by this cohort's devices
+    /// (`None` → the scenario-wide [`FleetScenario::payload_bytes`]).
+    pub payload_bytes: Option<usize>,
+    /// Relative local compute speed of this cohort's devices: the layer-0
+    /// execution time is *divided* by this (1.0 = the testbed device,
+    /// 0.5 = half as fast, 2.0 = twice as fast).
+    pub local_speed: f64,
 }
 
 impl CohortSpec {
+    /// A cohort of testbed-uniform devices (scenario payload, speed 1.0).
+    pub fn uniform(
+        devices: u32,
+        windows_per_device: u32,
+        period_ms: f64,
+        start_ms: f64,
+        route: RoutePlan,
+    ) -> Self {
+        Self {
+            devices,
+            windows_per_device,
+            period_ms,
+            start_ms,
+            route,
+            payload_bytes: None,
+            local_speed: 1.0,
+        }
+    }
+
     /// Total windows this cohort emits.
     pub fn total_windows(&self) -> u64 {
         self.devices as u64 * self.windows_per_device as u64
+    }
+
+    /// This cohort's payload in bytes, given the scenario default.
+    pub fn payload_or(&self, scenario_payload: usize) -> usize {
+        self.payload_bytes.unwrap_or(scenario_payload)
+    }
+
+    /// Layer-0 execution time for this cohort's devices, given the
+    /// testbed execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_speed` is not positive and finite.
+    pub fn local_exec_ms(&self, testbed_exec_ms: f64) -> f64 {
+        assert!(
+            self.local_speed > 0.0 && self.local_speed.is_finite(),
+            "local_speed must be positive and finite, got {}",
+            self.local_speed
+        );
+        testbed_exec_ms / self.local_speed
     }
 }
 
@@ -198,13 +248,13 @@ impl FleetScenario {
     pub fn light_load(scale: FleetScale) -> Self {
         let s = Self::scale_div(scale);
         let mut sc = Self::base("light_load", scale);
-        sc.cohorts.push(CohortSpec {
-            devices: (100_000.0 / s) as u32,
-            windows_per_device: 10,
-            period_ms: 120_000.0 / s,
-            start_ms: 0.0,
-            route: RoutePlan::Mixture([0.80, 0.12, 0.08]),
-        });
+        sc.cohorts.push(CohortSpec::uniform(
+            (100_000.0 / s) as u32,
+            10,
+            120_000.0 / s,
+            0.0,
+            RoutePlan::Mixture([0.80, 0.12, 0.08]),
+        ));
         sc
     }
 
@@ -216,13 +266,13 @@ impl FleetScenario {
         let s = Self::scale_div(scale);
         let mut sc = Self::base("edge_saturated", scale);
         sc.batch_max = 1; // serve one-at-a-time: capacity 4/7.4 ms ≈ 540/s
-        sc.cohorts.push(CohortSpec {
-            devices: (100_000.0 / s) as u32,
-            windows_per_device: 10,
-            period_ms: 60_000.0 / s,
-            start_ms: 0.0,
-            route: RoutePlan::Mixture([0.05, 0.90, 0.05]),
-        });
+        sc.cohorts.push(CohortSpec::uniform(
+            (100_000.0 / s) as u32,
+            10,
+            60_000.0 / s,
+            0.0,
+            RoutePlan::Mixture([0.05, 0.90, 0.05]),
+        ));
         sc
     }
 
@@ -235,13 +285,13 @@ impl FleetScenario {
         let s = Self::scale_div(scale);
         let mut sc = Self::base("cloud_link_constrained", scale);
         sc.cloud_bandwidth_mbps = Some(2.0);
-        sc.cohorts.push(CohortSpec {
-            devices: (100_000.0 / s) as u32,
-            windows_per_device: 10,
-            period_ms: 60_000.0 / s,
-            start_ms: 0.0,
-            route: RoutePlan::Mixture([0.15, 0.10, 0.75]),
-        });
+        sc.cohorts.push(CohortSpec::uniform(
+            (100_000.0 / s) as u32,
+            10,
+            60_000.0 / s,
+            0.0,
+            RoutePlan::Mixture([0.15, 0.10, 0.75]),
+        ));
         sc
     }
 
@@ -254,21 +304,33 @@ impl FleetScenario {
         let mut sc = Self::base("flash_crowd", scale);
         sc.batch_max = 4;
         sc.batch_factor = 0.5;
-        sc.cohorts.push(CohortSpec {
-            devices: (50_000.0 / s) as u32,
-            windows_per_device: 10,
-            period_ms: 120_000.0 / s,
-            start_ms: 0.0,
-            route: RoutePlan::Mixture([0.70, 0.20, 0.10]),
-        });
-        sc.cohorts.push(CohortSpec {
-            devices: (60_000.0 / s) as u32,
-            windows_per_device: 10,
-            period_ms: 10_000.0 / s,
-            start_ms: 300_000.0 / s,
-            route: RoutePlan::Mixture([0.10, 0.60, 0.30]),
-        });
+        sc.cohorts.push(CohortSpec::uniform(
+            (50_000.0 / s) as u32,
+            10,
+            120_000.0 / s,
+            0.0,
+            RoutePlan::Mixture([0.70, 0.20, 0.10]),
+        ));
+        sc.cohorts.push(CohortSpec::uniform(
+            (60_000.0 / s) as u32,
+            10,
+            10_000.0 / s,
+            300_000.0 / s,
+            RoutePlan::Mixture([0.10, 0.60, 0.30]),
+        ));
         sc
+    }
+
+    /// The layer window `seq` of `cohort` executes at under the
+    /// scenario's **own** routing plan (deterministic). Custom routers
+    /// that scheme-route only some cohorts fall back to this for the
+    /// rest, so background load replays identically everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cohort` is out of range.
+    pub fn planned_layer(&self, cohort: u32, seq: u64) -> usize {
+        self.cohorts[cohort as usize].route.layer_for(self.seed, seq)
     }
 
     /// Total devices across cohorts.

@@ -21,13 +21,8 @@ fn scenario_from(
     sc.queue_capacity = queue_capacity;
     sc.batch_max = batch_max;
     sc.trace_interval_ms = 25.0;
-    sc.cohorts = vec![CohortSpec {
-        devices,
-        windows_per_device: windows,
-        period_ms,
-        start_ms: 0.0,
-        route: RoutePlan::Mixture(weights),
-    }];
+    sc.cohorts =
+        vec![CohortSpec::uniform(devices, windows, period_ms, 0.0, RoutePlan::Mixture(weights))];
     sc
 }
 
@@ -101,6 +96,60 @@ proptest! {
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.to_text(), b.to_text());
         prop_assert_eq!(a.layers_csv(), b.layers_csv());
+    }
+
+    /// Heterogeneous cohorts (mixed payloads, speeds, rates) conserve
+    /// totals however the cohort list is ordered: scenario-level device
+    /// and window totals are order-invariant, and every ordering's
+    /// simulation accounts for exactly `total_windows` emissions with
+    /// served + dropped conservation per layer.
+    #[test]
+    fn cohort_totals_invariant_to_ordering(
+        d0 in 1u32..25, d1 in 1u32..25, d2 in 1u32..25,
+        w0 in 1u32..6, w1 in 1u32..6, w2 in 1u32..6,
+        p0 in 2.0f64..300.0, p1 in 2.0f64..300.0, p2 in 2.0f64..300.0,
+        speed in 0.25f64..4.0,
+        payload in 64usize..4096,
+        rot in 0usize..3,
+    ) {
+        let mut base = FleetScenario::light_load(FleetScale::Quick);
+        base.name = "hetero".into();
+        base.cloud_bandwidth_mbps = Some(4.0);
+        base.trace_interval_ms = 25.0;
+        let mut cohorts = vec![
+            CohortSpec::uniform(d0, w0, p0, 0.0, RoutePlan::Mixture([0.5, 0.3, 0.2])),
+            CohortSpec {
+                local_speed: speed,
+                ..CohortSpec::uniform(d1, w1, p1, 10.0, RoutePlan::Fixed(0))
+            },
+            CohortSpec {
+                payload_bytes: Some(payload),
+                ..CohortSpec::uniform(d2, w2, p2, 5.0, RoutePlan::Fixed(2))
+            },
+        ];
+        let mut sc = base.clone();
+        sc.cohorts = cohorts.clone();
+        let devices = sc.total_devices();
+        let windows = sc.total_windows();
+
+        cohorts.rotate_left(rot);
+        let mut rotated = base.clone();
+        rotated.cohorts = cohorts;
+        prop_assert_eq!(rotated.total_devices(), devices);
+        prop_assert_eq!(rotated.total_windows(), windows);
+
+        for scenario in [&sc, &rotated] {
+            let report = FleetSim::new(scenario).run();
+            prop_assert_eq!(report.emitted, windows);
+            prop_assert_eq!(report.served + report.dropped, report.emitted);
+            for layer in &report.layers {
+                prop_assert_eq!(
+                    layer.served + layer.dropped_queue + layer.dropped_link,
+                    layer.offered,
+                    "layer {} leaks windows", layer.layer
+                );
+            }
+        }
     }
 }
 
