@@ -152,14 +152,56 @@ impl PolicyNetwork {
         advantage: f32,
         optimizer: &mut dyn Optimizer,
     ) -> f32 {
+        self.reinforce_update_with_entropy(context, action, advantage, 0.0, optimizer)
+    }
+
+    /// [`PolicyNetwork::reinforce_update`] with an **entropy bonus**: the
+    /// minimised objective becomes
+    /// `−advantage · log π_θ(action | ctx) − β · H(π_θ(· | ctx))`.
+    ///
+    /// Plain REINFORCE saturates its softmax once one action is on
+    /// average best — the logit gap grows without bound, gradients for
+    /// the other actions vanish, and the policy freezes before it can
+    /// discriminate per context. This bites on long in-fleet training
+    /// runs, where each epoch applies one update per *emitted window*
+    /// (thousands) rather than per corpus window (hundreds). The entropy
+    /// term pushes back with gradient `β · π_k (log π_k + H)` on each
+    /// logit, keeping a saturating distribution exploratory without
+    /// having to shrink the learning rate for everything else.
+    ///
+    /// `entropy_beta == 0` is exactly [`PolicyNetwork::reinforce_update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context.len() != input_dim`, `action >= num_actions`,
+    /// or `entropy_beta` is negative or non-finite.
+    pub fn reinforce_update_with_entropy(
+        &mut self,
+        context: &[f32],
+        action: usize,
+        advantage: f32,
+        entropy_beta: f32,
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
         assert_eq!(context.len(), self.input_dim, "context dimension mismatch");
         assert!(action < self.num_actions, "action out of range");
+        assert!(
+            entropy_beta >= 0.0 && entropy_beta.is_finite(),
+            "entropy_beta must be finite and non-negative"
+        );
         let logits = self.net.forward_training(&Matrix::row_vector(context));
         let probs = vecops::softmax(logits.as_slice());
         let log_prob = probs[action].max(1e-12).ln();
 
         let mut dlogits: Vec<f32> = probs.iter().map(|&p| advantage * p).collect();
         dlogits[action] -= advantage;
+        if entropy_beta > 0.0 {
+            // H = −Σ π log π; descent on −βH adds β·π_k(log π_k + H).
+            let entropy: f32 = -probs.iter().map(|&p| p * p.max(1e-12).ln()).sum::<f32>();
+            for (d, &p) in dlogits.iter_mut().zip(probs.iter()) {
+                *d += entropy_beta * p * (p.max(1e-12).ln() + entropy);
+            }
+        }
         let grad = Matrix::row_vector(&dlogits);
         let _ = self.net.backward(&grad);
         self.net.apply_gradients(optimizer);
@@ -294,6 +336,81 @@ mod tests {
         let mut opt_b = Sgd::new(0.1);
         b.reinforce_update(&[1.0, 0.0, 0.0], 1, 1.0, &mut opt_b);
         assert_eq!(a.weights_le_bytes(), b.weights_le_bytes());
+    }
+
+    #[test]
+    fn zero_entropy_beta_is_exactly_plain_reinforce() {
+        let mut a = PolicyNetwork::new(2, 16, 3, 6);
+        let mut b = PolicyNetwork::new(2, 16, 3, 6);
+        let mut opt_a = Sgd::new(0.05);
+        let mut opt_b = Sgd::new(0.05);
+        for i in 0..20 {
+            let ctx = [0.1 * i as f32, -0.3];
+            a.reinforce_update(&ctx, i % 3, 0.7, &mut opt_a);
+            b.reinforce_update_with_entropy(&ctx, i % 3, 0.7, 0.0, &mut opt_b);
+        }
+        assert_eq!(a.weights_le_bytes(), b.weights_le_bytes());
+    }
+
+    #[test]
+    fn entropy_regularisation_resists_softmax_saturation() {
+        // Hammer one action with positive advantage: plain REINFORCE
+        // saturates (max prob → 1), the entropy-regularised policy keeps
+        // a visibly softer distribution under the same update stream.
+        let ctx = [0.4, -0.2];
+        let run = |beta: f32| {
+            let mut p = PolicyNetwork::new(2, 16, 3, 8);
+            let mut opt = Sgd::new(0.1);
+            for _ in 0..400 {
+                p.reinforce_update_with_entropy(&ctx, 1, 1.0, beta, &mut opt);
+            }
+            p.probabilities(&ctx)
+        };
+        let plain = run(0.0);
+        let regularised = run(0.5);
+        assert!(plain[1] > 0.99, "plain REINFORCE should saturate, got {:?}", plain);
+        assert!(
+            regularised[1] < 0.98,
+            "entropy bonus failed to cap saturation: {:?} vs {:?}",
+            regularised,
+            plain
+        );
+        // The rewarded action still dominates — regularisation tempers,
+        // it does not overturn.
+        assert!(regularised[1] > 0.5, "{regularised:?}");
+    }
+
+    #[test]
+    fn entropy_term_alone_pushes_toward_uniform() {
+        let ctx = [1.0, -1.0];
+        let mut p = PolicyNetwork::new(2, 16, 3, 9);
+        // Skew the policy hard first.
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            p.reinforce_update(&ctx, 0, 1.0, &mut opt);
+        }
+        let skewed = p.probabilities(&ctx);
+        // Advantage 0 ⇒ only the entropy gradient acts.
+        for _ in 0..400 {
+            p.reinforce_update_with_entropy(&ctx, 0, 0.0, 0.5, &mut opt);
+        }
+        let relaxed = p.probabilities(&ctx);
+        let spread = |probs: &[f32]| {
+            probs.iter().cloned().fold(f32::MIN, f32::max)
+                - probs.iter().cloned().fold(f32::MAX, f32::min)
+        };
+        assert!(
+            spread(&relaxed) < spread(&skewed),
+            "entropy-only updates must flatten the distribution: {relaxed:?} vs {skewed:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy_beta must be finite and non-negative")]
+    fn negative_entropy_beta_rejected() {
+        let mut p = PolicyNetwork::new(2, 8, 3, 0);
+        let mut opt = Sgd::new(0.01);
+        let _ = p.reinforce_update_with_entropy(&[0.0, 0.0], 0, 1.0, -0.1, &mut opt);
     }
 
     #[test]

@@ -67,13 +67,27 @@ pub struct TrainConfig {
     /// Whether to use the reinforcement-comparison baseline (the paper does;
     /// `false` gives plain REINFORCE for the ablation bench).
     pub use_baseline: bool,
+    /// Entropy-regularisation strength β (0 = plain REINFORCE, the
+    /// paper's regime and the default). Long in-fleet runs apply one
+    /// update per *emitted window* and saturate the softmax on the
+    /// on-average-best action; a small β (~0.01) keeps the policy
+    /// exploratory there — see
+    /// [`PolicyNetwork::reinforce_update_with_entropy`].
+    pub entropy_beta: f32,
     /// Sampling / shuffling seed.
     pub seed: u64,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 30, learning_rate: 1e-3, baseline_beta: 0.05, use_baseline: true, seed: 0 }
+        Self {
+            epochs: 30,
+            learning_rate: 1e-3,
+            baseline_beta: 0.05,
+            use_baseline: true,
+            entropy_beta: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -164,7 +178,13 @@ impl PolicyTrainer {
         } else {
             reward
         };
-        self.policy.reinforce_update(context, action, advantage, &mut self.optimizer);
+        self.policy.reinforce_update_with_entropy(
+            context,
+            action,
+            advantage,
+            self.config.entropy_beta,
+            &mut self.optimizer,
+        );
     }
 
     /// Trains for `config.epochs` passes over `contexts`; the oracle is
@@ -341,6 +361,35 @@ mod tests {
         let curve = trainer.train_with_delays(&contexts, &mut |_i, _a| true, &observed, &reward);
         assert!(curve.final_reward() > 0.8, "final {}", curve.final_reward());
         assert_ne!(trainer.policy_mut().greedy(&[1.0, 1.0]), 1, "policy kept the dropped arm");
+    }
+
+    #[test]
+    fn entropy_beta_keeps_long_runs_unsaturated() {
+        // One action always pays: a long run of identical updates — the
+        // in-fleet saturation regime in miniature. With β = 0 the softmax
+        // pins to the winner; with a small β the policy keeps sampling
+        // the alternatives at a visible rate while still preferring the
+        // winner.
+        let contexts: Vec<Vec<f32>> = (0..20).map(|_| vec![0.5, 0.5]).collect();
+        let run = |entropy_beta: f32| {
+            let mut trainer = PolicyTrainer::new(
+                PolicyNetwork::new(2, 16, 3, 5),
+                TrainConfig {
+                    epochs: 120,
+                    learning_rate: 5e-3,
+                    entropy_beta,
+                    ..Default::default()
+                },
+            );
+            let mut reward = |_i: usize, a: usize| if a == 1 { 1.0 } else { -0.2 };
+            let curve = trainer.train(&contexts, &mut reward);
+            (trainer.policy_mut().probabilities(&[0.5, 0.5]), curve)
+        };
+        let (plain, _) = run(0.0);
+        let (regularised, curve) = run(0.01);
+        assert!(plain[1] > regularised[1], "{plain:?} vs {regularised:?}");
+        assert!(regularised[1] > 0.5, "winner must still dominate: {regularised:?}");
+        assert!(curve.final_reward() > 0.5, "regularised training still learns");
     }
 
     #[test]

@@ -36,24 +36,16 @@ use hec_bandit::{RewardModel, TrainConfig};
 use hec_bench::{univariate_config, Profile};
 use hec_core::stream::stream_through_fleet;
 use hec_core::{train_policy_in_fleet, Experiment, SchemeKind};
-use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, RoutePlan};
+use hec_sim::fleet::{FleetScale, FleetScenario};
 use hec_sim::DatasetKind;
 
-/// The named scenario plus a scheme-routed probe cohort: 20k devices
-/// (full scale) emitting one window per minute through the scenario's
-/// background fleet. Returns the scenario and the probe cohort's index.
+/// The named scenario plus the standard scheme-routed probe cohort
+/// ([`hec_bench::push_probe_cohort`]): 20k devices (full scale) emitting
+/// one window per minute through the scenario's background fleet.
+/// Returns the scenario and the probe cohort's index.
 fn with_probe_cohort(name: &str, scale: FleetScale) -> (FleetScenario, u32) {
     let mut sc = FleetScenario::by_name(name, scale).expect("named scenario");
-    let s = scale.divisor();
-    let probe = sc.cohorts.len() as u32;
-    // RoutePlan is overridden by the scheme router for this cohort.
-    sc.cohorts.push(CohortSpec::uniform(
-        (20_000.0 / s) as u32,
-        10,
-        60_000.0 / s,
-        0.0,
-        RoutePlan::Fixed(0),
-    ));
+    let probe = hec_bench::push_probe_cohort(&mut sc, scale);
     (sc, probe)
 }
 
@@ -81,11 +73,12 @@ fn main() {
     // Fleet training always uses the quick-scale twin, so its depth does
     // not vary with the evaluation profile. Far more updates per epoch
     // than the static regime (every probe window, not every corpus
-    // window) ⇒ a gentler learning rate, or REINFORCE saturates its
-    // softmax on the on-average-best action and freezes before
-    // discriminating per context.
+    // window) would saturate plain REINFORCE's softmax on the
+    // on-average-best action before it discriminates per context; the
+    // entropy bonus keeps the policy exploratory at the full learning
+    // rate (this replaces the former ×0.25 learning-rate workaround).
     let fleet_epochs = 6usize;
-    let fleet_lr_scale = 0.25f32;
+    let fleet_entropy_beta = 0.08f32;
     let t0 = Instant::now();
     let mut exp = Experiment::prepare(config);
     exp.train_detectors();
@@ -118,11 +111,7 @@ fn main() {
             &scaler,
             &reward,
             policy_hidden,
-            TrainConfig {
-                epochs: fleet_epochs,
-                learning_rate: policy_cfg.learning_rate * fleet_lr_scale,
-                ..policy_cfg
-            },
+            TrainConfig { epochs: fleet_epochs, entropy_beta: fleet_entropy_beta, ..policy_cfg },
             Some(train_probe),
         );
         eprintln!("[timing] fleet-train {name}: {:.2} s", t0.elapsed().as_secs_f64());

@@ -1,0 +1,229 @@
+//! Runs the paper's full protocol on **real (file-backed) traces**: the
+//! checked-in CSV power-demand and NDJSON MHEALTH fixtures stream through
+//! ingestion → standardisation → `paper_split` → detector training →
+//! policy training → Table-I/II-style evaluation → the closed-loop fleet
+//! simulator (the trace's windows replayed as a probe cohort inside the
+//! `light_load` background fleet).
+//!
+//! Requires the `real-data` feature:
+//!
+//! ```text
+//! cargo run --release -p hec-bench --features real-data --bin repro_real -- [fixtures_dir]
+//! ```
+//!
+//! Everything on stdout is deterministic — same fixtures ⇒ byte-identical
+//! output across reruns and `HEC_THREADS` settings (the CI real-data job
+//! enforces this with a diff). The adversarial fixtures demonstrate the
+//! loader's failure mode: line-numbered errors, never panics.
+
+use hec_bandit::{RewardModel, TrainConfig};
+use hec_core::stream::stream_through_fleet;
+use hec_core::{
+    format_table1, format_table2, DatasetConfig, Experiment, ExperimentConfig, SchemeKind,
+};
+use hec_data::ingest::{MhealthNdjsonSource, MissingValuePolicy, PowerCsvSource};
+use hec_data::mhealth::MhealthConfig;
+use hec_data::power::PowerConfig;
+use hec_data::{DatasetSource, LabeledCorpus};
+use hec_sim::fleet::{FleetScale, FleetScenario};
+
+/// Day length of the power fixture (readings per day).
+const POWER_SPD: usize = 24;
+/// Window/stride of the MHEALTH fixture protocol.
+const MHEALTH_WINDOW: usize = 16;
+const MHEALTH_STRIDE: usize = 8;
+
+fn fixtures_dir() -> String {
+    let mut args = std::env::args().skip(1);
+    match (args.next(), args.next()) {
+        (None, _) => format!("{}/../../fixtures", env!("CARGO_MANIFEST_DIR")),
+        (Some(dir), None) if !dir.starts_with('-') => dir,
+        _ => {
+            eprintln!("usage: repro_real [fixtures_dir]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn describe(corpus: &LabeledCorpus) -> String {
+    let classes: Vec<String> =
+        corpus.class_counts().iter().map(|(c, n)| format!("{c}:{n}")).collect();
+    format!(
+        "{} windows ({} normal, {} anomalous; class counts {{{}}})",
+        corpus.len(),
+        corpus.normal_count(),
+        corpus.len() - corpus.normal_count(),
+        classes.join(", ")
+    )
+}
+
+/// The scenario's light-load background fleet plus the real trace as
+/// the standard scheme-routed probe cohort
+/// ([`hec_bench::push_probe_cohort`], quick-scale twin rates).
+fn probe_scenario(kind: hec_sim::DatasetKind, payload_bytes: usize) -> (FleetScenario, u32) {
+    let mut sc = FleetScenario::light_load(FleetScale::Quick);
+    sc.kind = kind;
+    sc.payload_bytes = payload_bytes;
+    let probe = hec_bench::push_probe_cohort(&mut sc, FleetScale::Quick);
+    (sc, probe)
+}
+
+/// Full protocol over one loaded corpus.
+fn run_pipeline(label: &str, config: ExperimentConfig, corpus: LabeledCorpus) {
+    println!("--- {label} ---");
+    println!("corpus: {}", describe(&corpus));
+
+    let mut exp = Experiment::prepare_with_corpus(config, corpus);
+    let (train, test, policy_n, full) = exp.split.sizes();
+    println!("paper split: ad_train={train} ad_test={test} policy_train={policy_n} full={full}");
+
+    exp.train_detectors();
+    println!("{}", format_table1(&exp.table1()));
+
+    let policy_corpus = exp.split.policy_train.clone();
+    let policy_oracle = exp.oracle_over(&policy_corpus);
+    let (mut policy, scaler, curve) = exp.train_policy(&policy_oracle);
+    println!(
+        "policy training: {} epochs over {} windows, reward {:.4} -> {:.4}\n",
+        curve.mean_reward_per_epoch.len(),
+        policy_oracle.len(),
+        curve.mean_reward_per_epoch[0],
+        curve.final_reward()
+    );
+
+    let eval_corpus = exp.split.full.clone();
+    let eval_oracle = exp.oracle_over(&eval_corpus);
+    let (table2, actions) = exp.table2(&eval_oracle, &mut policy, &scaler);
+    println!("{}", format_table2(&table2));
+    println!("adaptive action histogram (IoT/Edge/Cloud): {actions:?}\n");
+
+    // Closed loop: the trace's windows replay as a probe cohort inside
+    // the light_load background fleet; every scheme routes the probe.
+    let kind = exp.config().dataset.kind();
+    let payload = exp.config().payload_bytes();
+    let (sc, probe) = probe_scenario(kind, payload);
+    let reward = RewardModel::new(kind.paper_alpha());
+    println!(
+        "fleet closed loop ({} background cohorts + {}-device probe):",
+        sc.cohorts.len() - 1,
+        sc.cohorts[probe as usize].devices
+    );
+    for scheme in SchemeKind::ALL {
+        let r = match scheme {
+            SchemeKind::Adaptive => stream_through_fleet(
+                &sc,
+                &eval_oracle,
+                scheme,
+                Some(&mut policy),
+                Some(&scaler),
+                &reward,
+                Some(probe),
+            ),
+            _ => stream_through_fleet(&sc, &eval_oracle, scheme, None, None, &reward, Some(probe)),
+        };
+        println!(
+            "  {:<11} acc={:.4} f1={:.4} reward={:<8.2} mean={:.2} ms p99={:.2} ms \
+             served={} missed={}",
+            scheme.to_string(),
+            r.accuracy(),
+            r.f1(),
+            r.mean_reward_x100,
+            r.routed_mean_ms,
+            r.routed_p99_ms,
+            r.confusion.total(),
+            r.missed
+        );
+    }
+    println!();
+}
+
+/// Demonstrates the loader's failure mode on an adversarial trace: a
+/// line-numbered error under each missing-value policy, never a panic.
+fn show_errors(label: &str, load: impl Fn(MissingValuePolicy) -> Option<hec_data::IngestError>) {
+    for policy in [MissingValuePolicy::Reject, MissingValuePolicy::ImputePrevious] {
+        match load(policy) {
+            Some(err) => println!("  {label} [{policy}] -> error: {err}"),
+            None => println!("  {label} [{policy}] -> loaded cleanly"),
+        }
+    }
+}
+
+fn main() {
+    let dir = fixtures_dir();
+    println!("== repro_real (fixture traces through the full paper protocol) ==\n");
+
+    // --- univariate: power-demand CSV ---
+    let power_source =
+        PowerCsvSource::new(format!("{dir}/power_good.csv"), POWER_SPD, MissingValuePolicy::Reject);
+    let corpus = match power_source.load() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load power_good.csv: {e}");
+            std::process::exit(1);
+        }
+    };
+    let days = corpus.len();
+    let config = ExperimentConfig {
+        dataset: DatasetConfig::Univariate(PowerConfig {
+            days,
+            samples_per_day: POWER_SPD,
+            anomaly_rate: 0.0, // unused: the corpus is file-backed
+            noise_std: 0.0,
+            seed: 42,
+        }),
+        ad_epochs: 60,
+        policy: TrainConfig { epochs: 25, learning_rate: 2e-3, ..Default::default() },
+        seq2seq_hidden: 8,
+        policy_hidden: 32,
+        seed: 42,
+    };
+    run_pipeline(&power_source.name(), config, corpus);
+
+    // --- multivariate: MHEALTH NDJSON ---
+    let mhealth_source = MhealthNdjsonSource::new(
+        format!("{dir}/mhealth_good.ndjson"),
+        MHEALTH_WINDOW,
+        MHEALTH_STRIDE,
+        MissingValuePolicy::Reject,
+    );
+    let corpus = match mhealth_source.load() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load mhealth_good.ndjson: {e}");
+            std::process::exit(1);
+        }
+    };
+    let config = ExperimentConfig {
+        dataset: DatasetConfig::Multivariate(MhealthConfig {
+            subjects: 2,
+            window: MHEALTH_WINDOW,
+            stride: MHEALTH_STRIDE,
+            session_len: MHEALTH_WINDOW, // unused: the corpus is file-backed
+            normal_session_multiplier: 1,
+            noise_std: 0.0,
+            seed: 42,
+        }),
+        ad_epochs: 6,
+        policy: TrainConfig { epochs: 25, learning_rate: 2e-3, ..Default::default() },
+        seq2seq_hidden: 8,
+        policy_hidden: 32,
+        seed: 42,
+    };
+    run_pipeline(&mhealth_source.name(), config, corpus);
+
+    // --- adversarial traces: line-numbered errors, not panics ---
+    println!("--- adversarial traces ---");
+    show_errors("power_bad.csv", |policy| {
+        PowerCsvSource::new(format!("{dir}/power_bad.csv"), POWER_SPD, policy).load().err()
+    });
+    show_errors("mhealth_bad.ndjson", |policy| {
+        MhealthNdjsonSource::new(
+            format!("{dir}/mhealth_bad.ndjson"),
+            MHEALTH_WINDOW,
+            MHEALTH_STRIDE,
+            policy,
+        )
+        .load()
+        .err()
+    });
+}

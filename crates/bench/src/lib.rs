@@ -19,6 +19,27 @@
 use hec_bandit::TrainConfig;
 use hec_core::{DatasetConfig, ExperimentConfig};
 use hec_data::{mhealth::MhealthConfig, power::PowerConfig};
+use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, RoutePlan};
+
+/// Appends the standard scheme-routed **probe cohort** to a fleet
+/// scenario and returns its cohort index: 20k devices (at full scale)
+/// each emitting 10 windows one minute apart, scaled by the
+/// [`FleetScale`] divisor so offered-load rates match at either scale.
+/// The cohort's `RoutePlan` is a placeholder — the closed-loop drivers
+/// override it with the scheme router. Shared by `repro_fleet_train`
+/// and `repro_real` so their closed-loop numbers stay comparable.
+pub fn push_probe_cohort(scenario: &mut FleetScenario, scale: FleetScale) -> u32 {
+    let s = scale.divisor();
+    let probe = scenario.cohorts.len() as u32;
+    scenario.cohorts.push(CohortSpec::uniform(
+        (20_000.0 / s) as u32,
+        10,
+        60_000.0 / s,
+        0.0,
+        RoutePlan::Fixed(0),
+    ));
+    probe
+}
 
 /// Which experiment scale to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

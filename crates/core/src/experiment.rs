@@ -16,7 +16,7 @@ use hec_data::{
     paper_split,
     power::{PowerConfig, PowerGenerator},
     standardize::Standardizer,
-    BinaryConfusion, LabeledWindow, PaperSplit,
+    BinaryConfusion, DatasetSource, LabeledCorpus, LabeledWindow, PaperSplit,
 };
 use hec_sim::{DatasetKind, HecTopology};
 use hec_tensor::Matrix;
@@ -132,31 +132,53 @@ impl Experiment {
     /// Stage 1–2: generate, standardise and split the dataset; build the
     /// (untrained) model catalog and the calibrated testbed topology.
     pub fn prepare(config: ExperimentConfig) -> Self {
+        let corpus = match &config.dataset {
+            DatasetConfig::Univariate(power) => PowerGenerator::new(power.clone()).load(),
+            DatasetConfig::Multivariate(mh) => MhealthGenerator::new(mh.clone()).load(),
+        }
+        .expect("synthetic sources are infallible");
+        Self::prepare_with_corpus(config, corpus)
+    }
+
+    /// Like [`Experiment::prepare`], but on an externally supplied corpus
+    /// — the entry point for **real traces** loaded through a
+    /// [`DatasetSource`] (see `hec_data::ingest`, feature `real-data`).
+    /// `config.dataset` still selects the model catalog, delay
+    /// calibration and payload sizing; its generator parameters must
+    /// describe the corpus' window shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus is empty, if any window's shape differs from
+    /// the configured one (`samples_per_day × 1` univariate,
+    /// `window × 18` multivariate), or if any window holds non-finite
+    /// samples (real-trace ingestion resolves those through its
+    /// missing-value policy before the corpus reaches this point).
+    pub fn prepare_with_corpus(config: ExperimentConfig, corpus: LabeledCorpus) -> Self {
+        assert!(!corpus.is_empty(), "cannot prepare an experiment on an empty corpus");
         let kind = config.dataset.kind();
         let topology = HecTopology::paper_testbed(kind);
-        let (windows, class_of): (Vec<LabeledWindow>, Vec<Option<usize>>) = match &config.dataset {
-            DatasetConfig::Univariate(power) => {
-                let gen = PowerGenerator::new(power.clone());
-                let days = gen.generate();
-                let classes = days.iter().map(|(_, k)| k.map(|kind| kind.class_index())).collect();
-                (days.into_iter().map(|(w, _)| w).collect(), classes)
-            }
-            DatasetConfig::Multivariate(mh) => {
-                let gen = MhealthGenerator::new(mh.clone());
-                let pairs = gen.generate();
-                let classes = pairs
-                    .iter()
-                    .map(|(_, a)| if a.is_normal() { None } else { Some(a.index()) })
-                    .collect();
-                (pairs.into_iter().map(|(w, _)| w).collect(), classes)
-            }
+        let expected = match &config.dataset {
+            DatasetConfig::Univariate(power) => (power.samples_per_day, 1),
+            DatasetConfig::Multivariate(mh) => (mh.window, 18),
         };
+        for (i, w) in corpus.windows.iter().enumerate() {
+            assert_eq!(
+                w.data.shape(),
+                expected,
+                "corpus window {i} has shape {:?}, but the configured dataset expects {:?}",
+                w.data.shape(),
+                expected
+            );
+        }
+        let LabeledCorpus { windows, classes: class_of } = corpus;
 
         // Standardise with statistics from normal windows only (the paper
         // standardises all training tasks; detectors must not see anomaly
         // statistics).
         let normal_rows: Vec<Matrix> =
             windows.iter().filter(|w| !w.anomalous).map(|w| w.data.clone()).collect();
+        assert!(!normal_rows.is_empty(), "corpus has no normal windows to standardise on");
         let stacked = stack_rows(&normal_rows);
         let standardizer = Standardizer::fit(&stacked);
         let windows: Vec<LabeledWindow> = windows
@@ -421,5 +443,34 @@ mod tests {
     fn payload_bytes_reflect_window_shape() {
         assert_eq!(ExperimentConfig::univariate().payload_bytes(), 96 * 4);
         assert_eq!(ExperimentConfig::multivariate().payload_bytes(), 128 * 18 * 4);
+    }
+
+    #[test]
+    fn prepare_with_corpus_matches_prepare_for_synthetic_sources() {
+        let config = tiny_univariate();
+        let via_prepare = Experiment::prepare(config.clone());
+        let corpus = match &config.dataset {
+            DatasetConfig::Univariate(power) => PowerGenerator::new(power.clone()).load().unwrap(),
+            _ => unreachable!(),
+        };
+        let via_corpus = Experiment::prepare_with_corpus(config, corpus);
+        assert_eq!(via_prepare.split.sizes(), via_corpus.split.sizes());
+        for (a, b) in via_prepare.split.ad_train.iter().zip(via_corpus.split.ad_train.iter()) {
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects (24, 1)")]
+    fn prepare_with_corpus_rejects_mismatched_window_shapes() {
+        use hec_data::LabeledWindow;
+        use hec_tensor::Matrix;
+        let windows: Vec<LabeledWindow> =
+            (0..12).map(|_| LabeledWindow::new(Matrix::zeros(8, 1), false)).collect();
+        let classes = vec![None; 12];
+        let _ = Experiment::prepare_with_corpus(
+            tiny_univariate(),
+            LabeledCorpus::new(windows, classes),
+        );
     }
 }

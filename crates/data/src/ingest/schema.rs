@@ -1,0 +1,401 @@
+//! Schema adapters: raw CSV/NDJSON records → the paper's dataset layouts.
+//!
+//! * [`PowerCsvSource`] — the UCI-power-demand layout: a univariate
+//!   demand series, one reading per line (`demand[,label]`), grouped
+//!   into fixed-length day windows. Labels are day-granular: `0` (or an
+//!   omitted field) = normal, `k ≥ 1` = anomaly class `k − 1`, and every
+//!   reading of a day must agree on the label.
+//! * [`MhealthNdjsonSource`] — the MHEALTH layout: one sample per line
+//!   (`{"ch": [18 numbers], "activity": 0..11, "subject": n}`), windowed
+//!   per contiguous `(subject, activity)` session with the paper's
+//!   sliding-window protocol. Activity indices follow
+//!   [`Activity::ALL`]; walking is normal, everything else anomalous.
+//!
+//! Both adapters stream through the allocation-lean readers, resolve
+//! every sample through the configured [`MissingValuePolicy`] *before*
+//! any window is built (so standardisation never sees a NaN), and
+//! surface malformed input as line-numbered [`IngestError`]s.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+use hec_tensor::Matrix;
+
+use crate::ingest::csv::CsvReader;
+use crate::ingest::ndjson::NdjsonReader;
+use crate::ingest::{Imputer, MissingValuePolicy};
+use crate::mhealth::{Activity, CHANNELS};
+use crate::source::{DatasetSource, IngestError, LabeledCorpus};
+use crate::window::{sliding_windows, LabeledWindow};
+
+/// Opens a trace file, reporting failures as line-0 I/O errors.
+fn open(path: &Path, name: &str) -> Result<std::io::BufReader<std::fs::File>, IngestError> {
+    let file = std::fs::File::open(path).map_err(|e| IngestError::Io {
+        name: name.to_owned(),
+        line: 0,
+        source: e,
+    })?;
+    Ok(std::io::BufReader::new(file))
+}
+
+/// Logical trace name for error reports: the file name only, never the
+/// absolute path (keeps repro output byte-identical across machines).
+fn trace_name(path: &Path) -> String {
+    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_else(|| "?".into())
+}
+
+/// File-backed univariate power-demand trace (CSV).
+#[derive(Debug, Clone)]
+pub struct PowerCsvSource {
+    path: PathBuf,
+    samples_per_day: usize,
+    policy: MissingValuePolicy,
+}
+
+impl PowerCsvSource {
+    /// Creates a source reading `path`, grouping every `samples_per_day`
+    /// consecutive readings into one day window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_day == 0`.
+    pub fn new(
+        path: impl Into<PathBuf>,
+        samples_per_day: usize,
+        policy: MissingValuePolicy,
+    ) -> Self {
+        assert!(samples_per_day > 0, "samples_per_day must be non-zero");
+        Self { path: path.into(), samples_per_day, policy }
+    }
+
+    /// Parses an already-open stream (exposed for tests; [`DatasetSource::
+    /// load`] opens the configured path and delegates here).
+    pub fn parse(&self, src: impl BufRead) -> Result<LabeledCorpus, IngestError> {
+        let name = trace_name(&self.path);
+        let mut reader = CsvReader::new(src, name);
+        let mut imputer = Imputer::new(self.policy, 1);
+
+        let mut windows = Vec::new();
+        let mut classes = Vec::new();
+        let mut day: Vec<f32> = Vec::with_capacity(self.samples_per_day);
+        // The current day's label and the line that established it.
+        let mut day_label: Option<(usize, u64)> = None;
+        let mut first = true;
+        while let Some(rec) = reader.next_record()? {
+            if std::mem::take(&mut first) && rec.looks_like_header() {
+                continue;
+            }
+            rec.expect_fields(1, 2)?;
+            let value = imputer.resolve(0, rec.parse_f32(0)?, rec.line_number())?;
+            // An omitted label means normal — both a 1-field row and the
+            // trailing-comma export shape `0.35,` (empty second field).
+            let label =
+                if rec.len() > 1 && !rec.field(1).is_empty() { rec.parse_usize(1)? } else { 0 };
+            match day_label {
+                None => day_label = Some((label, rec.line_number())),
+                Some((l, at)) if l != label => {
+                    return Err(IngestError::Schema {
+                        line: rec.line_number(),
+                        message: format!(
+                            "label {label} disagrees with label {l} from line {at}: a day's \
+                             readings must share one label"
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+            day.push(value);
+            if day.len() == self.samples_per_day {
+                let (label, _) = day_label.take().expect("label set with the day's first reading");
+                let data = Matrix::from_vec(self.samples_per_day, 1, std::mem::take(&mut day));
+                windows.push(LabeledWindow::new(data, label > 0));
+                classes.push((label > 0).then(|| label - 1));
+                day = Vec::with_capacity(self.samples_per_day);
+            }
+        }
+        // A trailing partial day is dropped, matching the windowing
+        // protocol's treatment of incomplete tails.
+        Ok(LabeledCorpus::new(windows, classes))
+    }
+}
+
+impl DatasetSource for PowerCsvSource {
+    fn name(&self) -> String {
+        format!("power-csv({})", trace_name(&self.path))
+    }
+
+    fn channels(&self) -> usize {
+        1
+    }
+
+    fn load(&self) -> Result<LabeledCorpus, IngestError> {
+        let src = open(&self.path, &trace_name(&self.path))?;
+        self.parse(src)
+    }
+}
+
+/// File-backed MHEALTH-shaped multivariate trace (NDJSON).
+#[derive(Debug, Clone)]
+pub struct MhealthNdjsonSource {
+    path: PathBuf,
+    window: usize,
+    stride: usize,
+    policy: MissingValuePolicy,
+}
+
+impl MhealthNdjsonSource {
+    /// Creates a source reading `path`, windowing each contiguous
+    /// `(subject, activity)` session with `window`/`stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn new(
+        path: impl Into<PathBuf>,
+        window: usize,
+        stride: usize,
+        policy: MissingValuePolicy,
+    ) -> Self {
+        assert!(window > 0 && stride > 0, "window/stride must be non-zero");
+        Self { path: path.into(), window, stride, policy }
+    }
+
+    /// Parses an already-open stream (exposed for tests).
+    pub fn parse(&self, src: impl BufRead) -> Result<LabeledCorpus, IngestError> {
+        let name = trace_name(&self.path);
+        let mut reader = NdjsonReader::new(src, name);
+        let mut imputer = Imputer::new(self.policy, CHANNELS);
+
+        let mut windows = Vec::new();
+        let mut classes = Vec::new();
+        // The open session's samples (row-major steps × CHANNELS) and key.
+        let mut session: Vec<f32> = Vec::new();
+        let mut session_key: Option<(usize, usize)> = None; // (subject, activity)
+        let close_session = |session: &mut Vec<f32>,
+                             key: Option<(usize, usize)>,
+                             windows: &mut Vec<LabeledWindow>,
+                             classes: &mut Vec<Option<usize>>| {
+            let Some((_, activity_idx)) = key else { return };
+            let steps = session.len() / CHANNELS;
+            if steps >= self.window {
+                let activity = Activity::ALL[activity_idx];
+                let data = Matrix::from_vec(steps, CHANNELS, std::mem::take(session));
+                for w in sliding_windows(&data, self.window, self.stride) {
+                    windows.push(LabeledWindow::new(w, !activity.is_normal()));
+                    classes.push((!activity.is_normal()).then_some(activity_idx));
+                }
+            } else {
+                // Runs shorter than a window yield nothing (the protocol
+                // drops incomplete tails); discard the buffered samples.
+                session.clear();
+            }
+        };
+
+        while let Some(rec) = reader.next_record()? {
+            let activity = rec.integer("activity")?;
+            if activity >= Activity::ALL.len() {
+                return Err(IngestError::Schema {
+                    line: rec.line_number(),
+                    message: format!(
+                        "activity index {activity} out of range (MHEALTH has {} activities)",
+                        Activity::ALL.len()
+                    ),
+                });
+            }
+            let subject = match rec.get("subject") {
+                None => 0,
+                Some(_) => rec.integer("subject")?,
+            };
+            let ch = rec.numbers("ch")?;
+            if ch.len() != CHANNELS {
+                return Err(IngestError::Schema {
+                    line: rec.line_number(),
+                    message: format!("expected {CHANNELS} channels in \"ch\", got {}", ch.len()),
+                });
+            }
+            let key = (subject, activity);
+            if session_key != Some(key) {
+                close_session(&mut session, session_key, &mut windows, &mut classes);
+                session_key = Some(key);
+                // Impute-previous must not bridge sessions: a gap at the
+                // start of a new activity has no in-session history.
+                imputer.reset();
+            }
+            for (c, &raw) in ch.iter().enumerate() {
+                let v = imputer.resolve(c, Some(raw), rec.line_number())?;
+                session.push(v);
+            }
+        }
+        close_session(&mut session, session_key, &mut windows, &mut classes);
+        Ok(LabeledCorpus::new(windows, classes))
+    }
+}
+
+impl DatasetSource for MhealthNdjsonSource {
+    fn name(&self) -> String {
+        format!("mhealth-ndjson({})", trace_name(&self.path))
+    }
+
+    fn channels(&self) -> usize {
+        CHANNELS
+    }
+
+    fn load(&self) -> Result<LabeledCorpus, IngestError> {
+        let src = open(&self.path, &trace_name(&self.path))?;
+        self.parse(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn power(samples_per_day: usize, policy: MissingValuePolicy) -> PowerCsvSource {
+        PowerCsvSource::new("power.csv", samples_per_day, policy)
+    }
+
+    fn mhealth(window: usize, stride: usize, policy: MissingValuePolicy) -> MhealthNdjsonSource {
+        MhealthNdjsonSource::new("trace.ndjson", window, stride, policy)
+    }
+
+    #[test]
+    fn power_groups_days_and_labels() {
+        let text = "demand,label\n1,0\n2,0\n3,1\n4,1\n5,0\n"; // day size 2, tail dropped
+        let corpus = power(2, MissingValuePolicy::Reject).parse(Cursor::new(text)).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert!(!corpus.windows[0].anomalous);
+        assert_eq!(corpus.windows[0].data.as_slice(), &[1.0, 2.0]);
+        assert!(corpus.windows[1].anomalous);
+        assert_eq!(corpus.classes[1], Some(0));
+    }
+
+    #[test]
+    fn power_label_column_is_optional() {
+        let corpus =
+            power(2, MissingValuePolicy::Reject).parse(Cursor::new("1\n2\n3\n4\n")).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.normal_count(), 2);
+        // The trailing-comma export shape (empty label field) also reads
+        // as normal, and may mix with explicit `,0` labels within a day.
+        let corpus =
+            power(2, MissingValuePolicy::Reject).parse(Cursor::new("1,\n2,0\n3,\n4,\n")).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.normal_count(), 2);
+    }
+
+    #[test]
+    fn power_rejects_inconsistent_day_labels() {
+        let text = "1,0\n2,2\n";
+        let err = power(2, MissingValuePolicy::Reject).parse(Cursor::new(text)).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("label 2 disagrees"), "{err}");
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn power_missing_value_policies() {
+        let text = "1,0\n,0\n3,0\n4,0\n";
+        let err = power(2, MissingValuePolicy::Reject).parse(Cursor::new(text)).unwrap_err();
+        assert_eq!(err.line(), 2);
+        let corpus = power(2, MissingValuePolicy::ImputePrevious).parse(Cursor::new(text)).unwrap();
+        assert_eq!(corpus.windows[0].data.as_slice(), &[1.0, 1.0]);
+        // A leading gap has nothing to impute from — still a line error.
+        let err = power(2, MissingValuePolicy::ImputePrevious)
+            .parse(Cursor::new(",0\n2,0\n"))
+            .unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn power_malformed_line_is_line_numbered() {
+        let err =
+            power(2, MissingValuePolicy::Reject).parse(Cursor::new("1,0\nbogus,0\n")).unwrap_err();
+        assert_eq!(err.line(), 2);
+        let err =
+            power(2, MissingValuePolicy::Reject).parse(Cursor::new("1,0\n2,0,9\n")).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("expected 1..=2 fields"), "{err}");
+    }
+
+    fn sample_line(activity: usize, subject: usize, v: f32) -> String {
+        let ch: Vec<String> = (0..CHANNELS).map(|c| format!("{}", v + c as f32)).collect();
+        format!("{{\"ch\": [{}], \"activity\": {activity}, \"subject\": {subject}}}", ch.join(", "))
+    }
+
+    #[test]
+    fn mhealth_windows_per_session() {
+        // Walking (activity 3, normal): 6 steps → windows at 0, 2 with
+        // window 4 / stride 2; Running (10): 4 steps → 1 window.
+        let mut text = String::new();
+        for i in 0..6 {
+            text.push_str(&sample_line(3, 0, i as f32));
+            text.push('\n');
+        }
+        for i in 0..4 {
+            text.push_str(&sample_line(10, 0, 100.0 + i as f32));
+            text.push('\n');
+        }
+        let corpus = mhealth(4, 2, MissingValuePolicy::Reject).parse(Cursor::new(text)).unwrap();
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.normal_count(), 2);
+        assert_eq!(corpus.class_counts(), vec![(Activity::Running.index(), 1)]);
+        assert_eq!(corpus.windows[0].channels(), CHANNELS);
+        assert_eq!(corpus.windows[0].data[(0, 0)], 0.0);
+        assert_eq!(corpus.windows[2].data[(0, 0)], 100.0);
+    }
+
+    #[test]
+    fn mhealth_subject_change_splits_sessions() {
+        // 3 + 3 steps of the same activity by two subjects: neither run
+        // reaches window 4, so no windows at all.
+        let mut text = String::new();
+        for subject in 0..2 {
+            for i in 0..3 {
+                text.push_str(&sample_line(3, subject, i as f32));
+                text.push('\n');
+            }
+        }
+        let corpus = mhealth(4, 2, MissingValuePolicy::Reject).parse(Cursor::new(text)).unwrap();
+        assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn mhealth_rejects_bad_arity_and_activity() {
+        let err = mhealth(2, 1, MissingValuePolicy::Reject)
+            .parse(Cursor::new("{\"ch\": [1, 2], \"activity\": 0}\n"))
+            .unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("expected 18 channels"), "{err}");
+        assert!(err.to_string().contains("got 2"), "{err}");
+        let line = sample_line(12, 0, 0.0);
+        let err = mhealth(2, 1, MissingValuePolicy::Reject)
+            .parse(Cursor::new(format!("{line}\n")))
+            .unwrap_err();
+        assert!(err.to_string().contains("activity index 12 out of range"), "{err}");
+    }
+
+    #[test]
+    fn mhealth_null_samples_follow_policy() {
+        let good = sample_line(3, 0, 1.0);
+        let gap = good.replacen("[1,", "[null,", 1);
+        let text = format!("{good}\n{gap}\n{good}\n{good}\n");
+        let err = mhealth(4, 2, MissingValuePolicy::Reject).parse(Cursor::new(&text)).unwrap_err();
+        assert_eq!(err.line(), 2);
+        let corpus =
+            mhealth(4, 2, MissingValuePolicy::ImputePrevious).parse(Cursor::new(&text)).unwrap();
+        assert_eq!(corpus.len(), 1);
+        // The gap imputed channel 0 from the previous step.
+        assert_eq!(corpus.windows[0].data[(1, 0)], 1.0);
+    }
+
+    #[test]
+    fn mhealth_imputation_does_not_bridge_sessions() {
+        let walk = sample_line(3, 0, 1.0);
+        let run_gap = sample_line(10, 0, 2.0).replacen("[2,", "[null,", 1);
+        let err = mhealth(1, 1, MissingValuePolicy::ImputePrevious)
+            .parse(Cursor::new(format!("{walk}\n{run_gap}\n")))
+            .unwrap_err();
+        assert_eq!(err.line(), 2, "gap at a session start must not borrow the previous session");
+    }
+}

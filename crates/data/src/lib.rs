@@ -16,20 +16,31 @@
 //!   12 activities and 10 subjects; the dominant activity (walking) is
 //!   normal, everything else anomalous; windows of 128 steps, stride 64.
 //!
+//! With the `real-data` feature enabled, the [`ingest`] module adds
+//! file-backed **real-trace** loading: hand-rolled streaming CSV and
+//! NDJSON readers with schema adapters for the UCI-power-demand and
+//! MHEALTH layouts, an explicit missing-value policy, and line-numbered
+//! error reporting. The [`source`] module's [`DatasetSource`] trait
+//! unifies the synthetic generators with those loaders.
+//!
 //! Supporting modules:
 //!
 //! * [`window`] — labelled windows and sliding-window extraction,
 //! * [`standardize`] — zero-mean/unit-variance per-channel scaling ("the data
 //!   is standardized to zero mean and unit variance", §III-A),
 //! * [`split`] — the paper's train/test/policy-train protocol,
+//! * [`source`] — the [`DatasetSource`] corpus abstraction,
 //! * [`metrics`] — confusion-matrix accuracy/precision/recall/F1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "real-data")]
+pub mod ingest;
 pub mod metrics;
 pub mod mhealth;
 pub mod power;
+pub mod source;
 pub mod split;
 pub mod standardize;
 pub mod window;
@@ -37,6 +48,7 @@ pub mod window;
 pub use metrics::BinaryConfusion;
 pub use mhealth::{Activity, MhealthConfig, MhealthGenerator};
 pub use power::{PowerConfig, PowerGenerator};
+pub use source::{DatasetSource, IngestError, LabeledCorpus};
 pub use split::{paper_split, PaperSplit};
-pub use standardize::Standardizer;
+pub use standardize::{NonFiniteError, Standardizer};
 pub use window::LabeledWindow;

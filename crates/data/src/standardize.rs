@@ -4,6 +4,47 @@ use serde::{Deserialize, Serialize};
 
 use hec_tensor::Matrix;
 
+/// A non-finite sample (NaN or ±∞) found where finite data is required.
+///
+/// Mean and standard deviation absorb a single NaN into *every* channel
+/// statistic, silently poisoning every downstream reconstruction error and
+/// policy reward — so standardisation refuses non-finite input outright.
+/// Real-trace ingestion applies its missing-value policy *before* fitting
+/// (see the `ingest` module), so a loaded corpus can never trip this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteError {
+    /// Row (timestep) of the first offending sample.
+    pub row: usize,
+    /// Column (channel) of the first offending sample.
+    pub col: usize,
+}
+
+impl std::fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite sample (NaN or ±inf) at row {}, channel {}: standardisation requires \
+             finite data — apply a missing-value policy (e.g. the ingestion module's \
+             reject/impute-previous) before fitting or transforming",
+            self.row, self.col
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
+
+/// Returns the position of the first non-finite entry, if any.
+fn first_non_finite(data: &Matrix) -> Option<NonFiniteError> {
+    for (r, row) in data.iter_rows().enumerate() {
+        for (c, &x) in row.iter().enumerate() {
+            if !x.is_finite() {
+                return Some(NonFiniteError { row: r, col: c });
+            }
+        }
+    }
+    None
+}
+
 /// Fitted per-channel standardiser: `x ↦ (x − µ_c) / σ_c`.
 ///
 /// The paper standardises every training task and dataset to zero mean and
@@ -32,7 +73,21 @@ impl Standardizer {
     ///
     /// Columns with zero variance get `σ = 1` so transforming them maps to 0
     /// rather than dividing by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`NonFiniteError`] message if `data` contains NaN or
+    /// ±∞ (use [`Standardizer::try_fit`] to handle the error instead).
     pub fn fit(data: &Matrix) -> Self {
+        Self::try_fit(data).unwrap_or_else(|e| panic!("Standardizer::fit: {e}"))
+    }
+
+    /// Fallible [`Standardizer::fit`]: returns the position of the first
+    /// non-finite sample instead of poisoning the statistics.
+    pub fn try_fit(data: &Matrix) -> Result<Self, NonFiniteError> {
+        if let Some(e) = first_non_finite(data) {
+            return Err(e);
+        }
         let d = data.cols();
         let n = data.rows() as f32;
         let mut mean = vec![0.0f32; d];
@@ -62,7 +117,7 @@ impl Standardizer {
                 }
             })
             .collect();
-        Self { mean, std }
+        Ok(Self { mean, std })
     }
 
     /// Number of channels this standardiser was fitted on.
@@ -84,9 +139,26 @@ impl Standardizer {
     ///
     /// # Panics
     ///
-    /// Panics if the column count differs from the fitted channel count.
+    /// Panics if the column count differs from the fitted channel count, or
+    /// with a [`NonFiniteError`] message if `data` contains NaN or ±∞ (use
+    /// [`Standardizer::try_transform`] to handle the latter as an error).
     pub fn transform(&self, data: &Matrix) -> Matrix {
+        self.try_transform(data).unwrap_or_else(|e| panic!("Standardizer::transform: {e}"))
+    }
+
+    /// Fallible [`Standardizer::transform`]: returns the position of the
+    /// first non-finite sample instead of propagating it into every
+    /// downstream score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted channel count
+    /// (a caller bug, not a data defect).
+    pub fn try_transform(&self, data: &Matrix) -> Result<Matrix, NonFiniteError> {
         assert_eq!(data.cols(), self.channels(), "channel count mismatch");
+        if let Some(e) = first_non_finite(data) {
+            return Err(e);
+        }
         let mut out = data.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -94,7 +166,7 @@ impl Standardizer {
                 *x = (*x - m) / s;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Inverse transform: `z ↦ z·σ_c + µ_c`.
@@ -157,6 +229,53 @@ mod tests {
     fn mismatched_channels_panic() {
         let s = Standardizer::fit(&Matrix::zeros(3, 2));
         let _ = s.transform(&Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn fit_rejects_nan_with_position() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, f32::NAN], &[5.0, 6.0]]);
+        let err = Standardizer::try_fit(&data).unwrap_err();
+        assert_eq!(err, NonFiniteError { row: 1, col: 1 });
+        assert!(err.to_string().contains("row 1, channel 1"), "{err}");
+        assert!(err.to_string().contains("missing-value policy"), "{err}");
+    }
+
+    #[test]
+    fn fit_rejects_infinities() {
+        for bad in [f32::INFINITY, f32::NEG_INFINITY] {
+            let data = Matrix::from_rows(&[&[bad], &[1.0]]);
+            let err = Standardizer::try_fit(&data).unwrap_err();
+            assert_eq!(err, NonFiniteError { row: 0, col: 0 });
+        }
+    }
+
+    #[test]
+    fn transform_rejects_non_finite_input() {
+        let s = Standardizer::fit(&Matrix::from_rows(&[&[0.0], &[2.0]]));
+        let err = s.try_transform(&Matrix::from_rows(&[&[f32::NAN]])).unwrap_err();
+        assert_eq!(err, NonFiniteError { row: 0, col: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn fit_panics_with_clear_message_on_nan() {
+        let _ = Standardizer::fit(&Matrix::from_rows(&[&[f32::NAN], &[1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn transform_panics_with_clear_message_on_inf() {
+        let s = Standardizer::fit(&Matrix::from_rows(&[&[0.0], &[2.0]]));
+        let _ = s.transform(&Matrix::from_rows(&[&[f32::INFINITY]]));
+    }
+
+    #[test]
+    fn try_fit_matches_fit_on_clean_data() {
+        let data = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 4.0], &[2.0, 1.0]]);
+        let a = Standardizer::fit(&data);
+        let b = Standardizer::try_fit(&data).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.transform(&data), b.try_transform(&data).unwrap());
     }
 
     #[test]

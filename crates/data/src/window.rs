@@ -17,7 +17,18 @@ pub struct LabeledWindow {
 
 impl LabeledWindow {
     /// Creates a labelled window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` holds no samples (zero timesteps or zero
+    /// channels). `Matrix` construction already rejects zero dimensions,
+    /// so this guards against a future relaxation of that invariant ever
+    /// producing an empty detection task silently.
     pub fn new(data: Matrix, anomalous: bool) -> Self {
+        assert!(
+            data.rows() > 0 && data.cols() > 0,
+            "a labelled window needs at least one timestep and one channel"
+        );
         Self { data, anomalous }
     }
 
@@ -26,9 +37,9 @@ impl LabeledWindow {
         self.data.rows()
     }
 
-    /// Windows are validated non-empty at construction of their `Matrix`.
+    /// Whether the window holds no timesteps.
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
     /// Number of channels.
@@ -91,6 +102,18 @@ mod tests {
         assert_eq!(w.flattened().len(), 128 * 18);
         assert_eq!(w.len(), 128);
         assert_eq!(w.channels(), 18);
+    }
+
+    #[test]
+    fn is_empty_reflects_contents() {
+        // Every constructible window has data, so is_empty is false — but
+        // it must be *computed* from the window's length, not hardcoded.
+        let w = LabeledWindow::new(Matrix::zeros(1, 1), false);
+        assert!(!w.is_empty());
+        assert_eq!(w.len(), 1);
+        let big = LabeledWindow::new(Matrix::ones(128, 18), true);
+        assert!(!big.is_empty());
+        assert_eq!(big.len(), 128);
     }
 
     #[test]

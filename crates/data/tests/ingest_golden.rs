@@ -1,0 +1,143 @@
+//! Golden-output tests for the real-trace loaders against the checked-in
+//! fixtures under `fixtures/` (feature `real-data`).
+//!
+//! These pin the parsed corpora down to exact counts, labels and sample
+//! values, so any change to reader or schema-adapter behaviour on real
+//! files is visible in review — the loader equivalent of the repro
+//! binaries' byte-diffed stdout.
+#![cfg(feature = "real-data")]
+
+use hec_data::ingest::{MhealthNdjsonSource, MissingValuePolicy, PowerCsvSource};
+use hec_data::{Activity, DatasetSource, IngestError};
+
+fn fixture(name: &str) -> String {
+    format!("{}/../../fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+const SPD: usize = 24;
+
+fn power_good(policy: MissingValuePolicy) -> PowerCsvSource {
+    PowerCsvSource::new(fixture("power_good.csv"), SPD, policy)
+}
+
+fn mhealth_good(policy: MissingValuePolicy) -> MhealthNdjsonSource {
+    MhealthNdjsonSource::new(fixture("mhealth_good.ndjson"), 16, 8, policy)
+}
+
+#[test]
+fn power_good_parses_to_the_golden_corpus() {
+    let source = power_good(MissingValuePolicy::Reject);
+    assert_eq!(source.name(), "power-csv(power_good.csv)");
+    assert_eq!(source.channels(), 1);
+    let corpus = source.load().expect("well-formed fixture");
+
+    // 80 days of 24 readings; days 3, 11, 19, … are anomalous with
+    // classes cycling 1→2→3 (fixture generator contract).
+    assert_eq!(corpus.len(), 80);
+    assert_eq!(corpus.normal_count(), 70);
+    assert_eq!(corpus.class_counts(), vec![(0, 4), (1, 3), (2, 3)]);
+    for (i, w) in corpus.windows.iter().enumerate() {
+        assert_eq!(w.data.shape(), (SPD, 1), "window {i}");
+        assert_eq!(w.anomalous, i % 8 == 3, "window {i}");
+    }
+
+    // Exact first/last samples (the fixture is text: parsing is exact).
+    assert_eq!(corpus.windows[0].data[(0, 0)], 0.3514);
+    assert_eq!(corpus.windows[0].data[(1, 0)], 0.3446);
+    assert_eq!(corpus.windows[79].data[(SPD - 1, 0)], 0.5283);
+
+    // Day 3 is a holiday-shaped collapse (class 1 → id 0): its mean sits
+    // well below the neighbouring normal days'.
+    let mean = |i: usize| corpus.windows[i].data.mean();
+    assert!(mean(3) < 0.8 * mean(2), "holiday day not collapsed: {} vs {}", mean(3), mean(2));
+}
+
+#[test]
+fn power_good_is_policy_invariant_when_complete() {
+    // The well-formed trace has no gaps: both policies parse it
+    // identically.
+    let reject = power_good(MissingValuePolicy::Reject).load().unwrap();
+    let impute = power_good(MissingValuePolicy::ImputePrevious).load().unwrap();
+    assert_eq!(reject.classes, impute.classes);
+    for (a, b) in reject.windows.iter().zip(impute.windows.iter()) {
+        assert_eq!(a.data, b.data);
+    }
+}
+
+#[test]
+fn power_bad_fails_with_the_golden_line_numbers() {
+    // Line 7 holds the gap; the reject policy stops there.
+    let err = PowerCsvSource::new(fixture("power_bad.csv"), SPD, MissingValuePolicy::Reject)
+        .load()
+        .unwrap_err();
+    assert_eq!(err.line(), 7, "{err}");
+    assert!(matches!(err, IngestError::Missing { .. }), "{err:?}");
+
+    // Impute-previous rides over the gap and hits the malformed number
+    // at line 31.
+    let err =
+        PowerCsvSource::new(fixture("power_bad.csv"), SPD, MissingValuePolicy::ImputePrevious)
+            .load()
+            .unwrap_err();
+    assert_eq!(err.line(), 31, "{err}");
+    assert!(matches!(err, IngestError::Parse { .. }), "{err:?}");
+    assert!(err.to_string().contains("12..5"), "{err}");
+}
+
+#[test]
+fn mhealth_good_parses_to_the_golden_corpus() {
+    let source = mhealth_good(MissingValuePolicy::Reject);
+    assert_eq!(source.name(), "mhealth-ndjson(mhealth_good.ndjson)");
+    assert_eq!(source.channels(), 18);
+    let corpus = source.load().expect("well-formed fixture");
+
+    // Sessions: subject 0 walks 120 steps (14 windows at 16/8), then
+    // jogging/running/standing/cycling 24 steps each (2 windows each);
+    // subject 1 walks 56 steps (6 windows).
+    assert_eq!(corpus.len(), 28);
+    assert_eq!(corpus.normal_count(), 20);
+    assert_eq!(
+        corpus.class_counts(),
+        vec![
+            (Activity::Standing.index(), 2),
+            (Activity::Cycling.index(), 2),
+            (Activity::Jogging.index(), 2),
+            (Activity::Running.index(), 2),
+        ]
+    );
+    for (i, w) in corpus.windows.iter().enumerate() {
+        assert_eq!(w.data.shape(), (16, 18), "window {i}");
+        assert!(w.data.as_slice().iter().all(|x| x.is_finite()), "window {i}");
+    }
+
+    // Exact first samples of the first window (fixture line 3).
+    assert_eq!(corpus.windows[0].data[(0, 0)], -0.678);
+    assert_eq!(corpus.windows[0].data[(0, 17)], -1.247);
+}
+
+#[test]
+fn mhealth_bad_fails_with_the_golden_line_numbers() {
+    let path = fixture("mhealth_bad.ndjson");
+    // Line 4 holds a null sample; reject stops there.
+    let err = MhealthNdjsonSource::new(&path, 4, 2, MissingValuePolicy::Reject).load().unwrap_err();
+    assert_eq!(err.line(), 4, "{err}");
+    assert!(matches!(err, IngestError::Missing { .. }), "{err:?}");
+
+    // Impute-previous carries channel 0 forward and hits the truncated
+    // JSON object at line 9.
+    let err = MhealthNdjsonSource::new(&path, 4, 2, MissingValuePolicy::ImputePrevious)
+        .load()
+        .unwrap_err();
+    assert_eq!(err.line(), 9, "{err}");
+    assert!(matches!(err, IngestError::Parse { .. }), "{err:?}");
+}
+
+#[test]
+fn missing_file_is_a_line_zero_io_error() {
+    let err = PowerCsvSource::new(fixture("no_such_trace.csv"), SPD, MissingValuePolicy::Reject)
+        .load()
+        .unwrap_err();
+    assert_eq!(err.line(), 0);
+    assert!(matches!(err, IngestError::Io { .. }), "{err:?}");
+    assert!(err.to_string().contains("no_such_trace.csv"), "{err}");
+}

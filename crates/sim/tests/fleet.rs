@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, FleetSim, RoutePlan};
+use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, FleetSim, LatencyHist, RoutePlan};
 use hec_sim::EventQueue;
 
 /// Builds a small scenario from sampled parameters.
@@ -210,4 +210,105 @@ fn flash_crowd_spikes_the_queue_trace() {
         edge_depth_during > 10 * edge_depth_before.max(1),
         "no spike: before {edge_depth_before}, during {edge_depth_during}"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// [`LatencyHist::quantile`] is monotone in `q` and every quantile of
+    /// a non-empty histogram lies within `[min, max]` of the recorded
+    /// samples (clamped at the bin edges by construction).
+    #[test]
+    fn latency_hist_quantiles_are_monotone_and_bounded(
+        samples in proptest::collection::vec(0.0f64..50_000.0, 1..200),
+        qs in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let mut hist = LatencyHist::new();
+        for &ms in &samples {
+            hist.record(ms);
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(0.0f64, f64::max);
+
+        let mut qs = qs;
+        qs.extend_from_slice(&[0.0, 0.5, 0.99, 1.0]);
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = hist.quantile(q);
+            prop_assert!(v >= prev, "quantile not monotone: q={q}, {v} < {prev}");
+            prop_assert!(
+                (lo..=hi).contains(&v),
+                "quantile({q}) = {v} outside [{lo}, {hi}]"
+            );
+            prev = v;
+        }
+    }
+
+    /// Merging histograms is exactly equivalent to recording the
+    /// concatenated sample streams — counts, mean, and every quantile —
+    /// including merges where either (or both) side is empty.
+    #[test]
+    fn latency_hist_quantiles_are_preserved_under_merge(
+        left in proptest::collection::vec(0.0f64..50_000.0, 0..120),
+        right in proptest::collection::vec(0.0f64..50_000.0, 0..120),
+    ) {
+        let build = |samples: &[f64]| {
+            let mut h = LatencyHist::new();
+            for &ms in samples {
+                h.record(ms);
+            }
+            h
+        };
+        let mut merged = build(&left);
+        merged.merge(&build(&right));
+
+        let mut combined: Vec<f64> = left.clone();
+        combined.extend_from_slice(&right);
+        let direct = build(&combined);
+
+        // Bins, counts and extremes merge exactly, so every quantile is
+        // bit-identical to recording the concatenated stream. (The mean's
+        // running f64 sum is only reassociated by merging, so it may
+        // differ in the last ulp.)
+        prop_assert_eq!(merged.count(), (left.len() + right.len()) as u64);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.max().to_bits(), direct.max().to_bits());
+        prop_assert!((merged.mean() - direct.mean()).abs() <= 1e-9 * direct.mean().abs());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q).to_bits(),
+                direct.quantile(q).to_bits(),
+                "quantile({}) diverged after merge", q
+            );
+        }
+    }
+}
+
+/// Empty-histogram merges: an empty side is the identity, and the
+/// empty-empty merge stays a well-formed empty histogram.
+#[test]
+fn latency_hist_empty_merges_are_identities() {
+    let mut filled = LatencyHist::new();
+    for ms in [3.0, 97.5, 1200.0] {
+        filled.record(ms);
+    }
+
+    let mut left_empty = LatencyHist::new();
+    left_empty.merge(&filled);
+    assert_eq!(left_empty, filled, "empty.merge(h) must equal h");
+
+    let mut right_empty = filled.clone();
+    right_empty.merge(&LatencyHist::new());
+    assert_eq!(right_empty, filled, "h.merge(empty) must leave h unchanged");
+
+    let mut both = LatencyHist::new();
+    both.merge(&LatencyHist::new());
+    assert_eq!(both, LatencyHist::new());
+    assert_eq!(both.count(), 0);
+    assert_eq!(both.quantile(0.5), 0.0);
+    // And the merged-empty histogram still records correctly afterwards.
+    both.record(7.0);
+    assert_eq!(both.count(), 1);
+    assert!(both.quantile(1.0) <= both.max());
 }
