@@ -1,0 +1,49 @@
+//! Criterion bench: the sharded fleet engine — partitioning overhead and
+//! thread scaling. `shards1/threads1` is the serial baseline (the exact
+//! pre-sharding engine); `shardsN/threadsM` measures the conservative
+//! lookahead-window coordinator driving N independent shards on M
+//! workers. On a multi-core host the `shards4` rows separate by thread
+//! count; on a single-core host they collapse (and the delta to
+//! `threads1` is pure coordination overhead). Real-scale throughput
+//! (1M devices) is recorded in EXPERIMENTS.md from `repro_fleet
+//! --devices 1000000 --shards N` stderr timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hec_core::parallel::with_thread_count;
+use hec_core::run_scenario_sharded;
+use hec_sim::fleet::{FleetScale, FleetScenario, ShardPlan};
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_shard_quick");
+    group.sample_size(20);
+    let sc = FleetScenario::edge_saturated(FleetScale::Quick);
+    let windows = sc.total_windows();
+    for &(shards, threads) in &[(1usize, 1usize), (2, 2), (4, 1), (4, 2), (4, 4)] {
+        group.bench_function(&format!("{windows}_windows_shards{shards}_threads{threads}"), |b| {
+            b.iter(|| {
+                with_thread_count(threads, || {
+                    black_box(run_scenario_sharded(black_box(&sc), shards))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    // Plan construction alone: cohort slicing + per-shard scenario and
+    // topology derivation. Must stay negligible next to a run.
+    let mut group = c.benchmark_group("fleet_shard_plan");
+    let sc = FleetScenario::flash_crowd(FleetScale::Full);
+    for shards in [4usize, 16, 64] {
+        group.bench_function(&format!("plan_full_scale_shards{shards}"), |b| {
+            b.iter(|| black_box(ShardPlan::new(black_box(&sc), shards)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_partitioning);
+criterion_main!(benches);

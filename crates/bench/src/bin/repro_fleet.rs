@@ -6,12 +6,19 @@
 //! rates per layer.
 //!
 //! `HEC_PROFILE=full` (the default) runs ≥100k devices / ≥1M windows per
-//! scenario; `quick` runs the same rates at 1/50 scale. Everything on
-//! stdout is deterministic — same profile ⇒ byte-identical output, which
-//! the CI smoke job enforces by diffing two runs (timing goes to stderr).
+//! scenario; `quick` runs the same rates at 1/50 scale. `--devices`,
+//! `--windows` and `--shards` scale further: the 1M-device / 10M-window
+//! tier is `--devices 1000000 --shards 8`, sharding the fleet across
+//! `HEC_THREADS` workers through `hec_core::sharded`. Everything on
+//! stdout is deterministic — the same (profile, devices, windows, shards)
+//! setting produces byte-identical output on any host and under any
+//! `HEC_THREADS` value, which the CI smoke jobs enforce by diffing runs
+//! (timing goes to stderr). `--shards 1` (the default) is the serial
+//! engine, byte-identical to the pre-sharding binary.
 //!
 //! ```text
-//! cargo run --release -p hec-bench --bin repro_fleet -- [out_dir] [--stream]
+//! cargo run --release -p hec-bench --bin repro_fleet -- [out_dir] \
+//!     [--stream] [--devices N] [--windows N] [--shards N]
 //! ```
 //!
 //! With `out_dir`, per-layer and queue-trace CSVs are written there. With
@@ -20,14 +27,42 @@
 //! bandit's actions shape the queueing), printing accuracy/F1 next to the
 //! load-dependent delays.
 
+use std::str::FromStr;
 use std::time::Instant;
 
 use hec_bandit::RewardModel;
 use hec_bench::{univariate_config, Profile};
+use hec_core::sharded::run_scenario_sharded;
 use hec_core::stream::{fleet_stream_csv, stream_through_fleet, FleetStreamResult};
 use hec_core::{Experiment, SchemeKind};
-use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, FleetSim, RoutePlan};
+use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, RoutePlan};
 use hec_sim::DatasetKind;
+
+const USAGE: &str = "\
+usage: repro_fleet [out_dir] [--stream] [--devices N] [--windows N] [--shards N]
+
+Runs the named discrete-event fleet scenarios and prints deterministic,
+byte-stable reports on stdout (timing goes to stderr).
+
+  out_dir        write per-layer and queue-trace CSVs here
+  --stream       additionally stream the evaluation corpus through a
+                 mid-load fleet under all five schemes (closed loop)
+  --devices N    scale every scenario to ~N total devices; emission
+                 periods and the virtual horizon stretch by the same
+                 factor, preserving every offered-load rate
+                 (env fallback: HEC_DEVICES)
+  --windows N    windows emitted per device (default: the scenario's
+                 own, 10; total windows = devices x N)
+                 (env fallback: HEC_WINDOWS)
+  --shards N     partition each fleet into N independent shards driven
+                 in parallel on HEC_THREADS workers; N=1 (default) is
+                 the serial engine (env fallback: HEC_SHARDS)
+  --help         print this help
+
+HEC_PROFILE=full|quick selects the base scale (default: full). For a
+fixed (profile, devices, windows, shards) setting, stdout and the CSVs
+are byte-identical across reruns and across HEC_THREADS values.
+";
 
 fn scale_of(profile: Profile) -> FleetScale {
     match profile {
@@ -36,29 +71,86 @@ fn scale_of(profile: Profile) -> FleetScale {
     }
 }
 
+/// Parses an env var as a flag fallback; unparsable values are rejected
+/// just like bad flag values, so a typo can't silently run the default.
+fn env_override<T: FromStr>(key: &str) -> Option<T> {
+    let raw = std::env::var(key).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("repro_fleet: cannot parse {key}={raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_value<T: FromStr>(value: Option<String>, flag: &str) -> T {
+    let Some(raw) = value else {
+        eprintln!("repro_fleet: {flag} needs a value\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    match raw.trim().parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("repro_fleet: cannot parse {flag} value {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut out_dir: Option<String> = None;
     let mut with_stream = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--stream" {
-            with_stream = true;
-        } else if arg.starts_with('-') || out_dir.is_some() {
-            eprintln!("usage: repro_fleet [out_dir] [--stream]  (unexpected argument {arg:?})");
-            std::process::exit(2);
-        } else {
-            out_dir = Some(arg);
+    let mut devices: Option<u64> = env_override("HEC_DEVICES");
+    let mut windows: Option<u32> = env_override("HEC_WINDOWS");
+    let mut shards: Option<usize> = env_override("HEC_SHARDS");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--stream" => with_stream = true,
+            "--devices" => devices = Some(parse_value(args.next(), "--devices")),
+            "--windows" => windows = Some(parse_value(args.next(), "--windows")),
+            "--shards" => shards = Some(parse_value(args.next(), "--shards")),
+            _ if arg.starts_with('-') || out_dir.is_some() => {
+                eprintln!("repro_fleet: unexpected argument {arg:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+            _ => out_dir = Some(arg),
         }
     }
+    let shards = shards.unwrap_or(1);
+    if shards == 0 || devices == Some(0) || windows == Some(0) {
+        eprintln!("repro_fleet: --devices/--windows/--shards must be at least 1");
+        std::process::exit(2);
+    }
+
     let profile = Profile::from_env();
     let scale = scale_of(profile);
     println!("== repro_fleet (profile: {profile:?}) ==\n");
+    // Deterministic banner for non-default tiers only, so the default
+    // invocation stays byte-identical to the pre-sharding recordings.
+    if devices.is_some() || windows.is_some() || shards > 1 {
+        let dev = devices.map_or_else(|| "scenario".into(), |d| d.to_string());
+        let win = windows.map_or_else(|| "scenario".into(), |w| w.to_string());
+        println!("-- scale tier: devices={dev} windows/device={win} shards={shards} --\n");
+    }
 
     for name in FleetScenario::NAMES {
-        let sc = FleetScenario::by_name(name, scale).expect("named scenario");
-        let sim = FleetSim::new(&sc);
+        let mut sc = FleetScenario::by_name(name, scale).expect("named scenario");
+        if let Some(d) = devices {
+            sc.scale_fleet(d as f64 / sc.total_devices() as f64);
+        }
+        if let Some(w) = windows {
+            sc.set_windows_per_device(w);
+        }
         let t0 = Instant::now();
-        let report = sim.run();
+        let run = run_scenario_sharded(&sc, shards);
         let wall = t0.elapsed().as_secs_f64();
+        let report = &run.report;
         // Wall-clock throughput is machine-dependent: stderr only, so
         // stdout stays byte-identical across reruns.
         eprintln!(
@@ -67,6 +159,16 @@ fn main() {
             report.events as f64 / wall / 1e6,
             report.emitted as f64 / wall / 1e6
         );
+        if shards > 1 {
+            let per_shard: Vec<String> =
+                run.shard_events.iter().map(|&e| format!("{:.2}M", e as f64 / 1e6)).collect();
+            eprintln!(
+                "[timing] {name}: {} shards, per-shard events [{}], aggregate {:.2}M events/s",
+                shards,
+                per_shard.join(", "),
+                report.events as f64 / wall / 1e6
+            );
+        }
         print!("{}", report.to_text());
         println!();
         if let Some(dir) = &out_dir {
@@ -87,6 +189,8 @@ fn main() {
 /// Closed loop: train the univariate pipeline, then stream the evaluation
 /// corpus from every device of a mid-load fleet under each scheme — the
 /// policy's action distribution now determines which queues build up.
+/// (The `--devices`/`--windows`/`--shards` tier applies to the named
+/// scenarios above, not to this training-in-the-loop section.)
 fn stream_schemes(profile: Profile, scale: FleetScale, out_dir: Option<&str>) {
     println!("-- closed-loop scheme streaming (fleet-loaded delays) --\n");
     let config = univariate_config(profile);

@@ -31,7 +31,7 @@ use hec_bandit::{
     ContextScaler, LoadNormalizer, PolicyNetwork, PolicyTrainer, RewardModel, TrainConfig,
     TrainingCurve,
 };
-use hec_sim::fleet::{FleetEngine, FleetScenario, JobEvent};
+use hec_sim::fleet::{FleetScenario, JobEvent, ShardPlan, ShardedFleetEngine};
 
 use crate::oracle::Oracle;
 use crate::stream::{scenario_load_normalizer, ProbeMap};
@@ -114,8 +114,12 @@ pub fn train_policy_in_fleet(
     // The same window → oracle mapping the evaluation driver uses.
     let mut probe_map = ProbeMap::new(probe_cohort, n);
 
+    // One-shard plan: training goes through the sharded coordinator's
+    // serial fast path (`FleetEngine::step` exactly), keeping the mutating
+    // sample→observe→update interleaving and its byte-identical weights.
+    let plan = ShardPlan::new(scenario, 1);
     for _epoch in 0..config.epochs {
-        let mut engine = FleetEngine::new(scenario);
+        let mut engine = ShardedFleetEngine::new(&plan);
         let mut total = 0.0f32;
         let mut outcomes = 0u64;
         let mut drops = 0u64;

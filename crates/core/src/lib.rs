@@ -26,7 +26,11 @@
 //!   and confidence-rule sweeps (DESIGN.md §5);
 //! * [`parallel`] — scoped-thread helpers (`HEC_THREADS` override) behind
 //!   the parallel scheme evaluation and sweeps, with deterministic result
-//!   ordering.
+//!   ordering;
+//! * [`sharded`] — the parallel driver for the sharded fleet engine:
+//!   shards advance to conservative lookahead barriers on `HEC_THREADS`
+//!   workers and merge deterministically, scaling fleet scenarios to
+//!   millions of devices with byte-identical output at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +42,7 @@ pub mod oracle;
 pub mod parallel;
 pub mod report;
 pub mod scheme;
+pub mod sharded;
 pub mod stream;
 
 pub use experiment::{
@@ -47,3 +52,4 @@ pub use fleet_train::{train_policy_in_fleet, FleetTrainOutcome};
 pub use oracle::{Oracle, WindowOutcome};
 pub use report::{format_table1, format_table2, Table1Row, Table2Row};
 pub use scheme::{SchemeEvaluator, SchemeKind, SchemeOutcome, SchemeResult};
+pub use sharded::{run_plan, run_scenario_sharded, ShardedFleetRun};

@@ -1,0 +1,163 @@
+//! Parallel driver for the sharded fleet engine.
+//!
+//! `hec_sim::fleet::shard` owns the partitioning and the deterministic
+//! merge; this module supplies the threads. Each lookahead window, every
+//! shard is advanced to the same conservative barrier by
+//! [`parallel_for_each_mut`] (one contiguous chunk of shards per worker,
+//! worker count from `HEC_THREADS`), then the coordinator merges the
+//! buffered outcomes in stable `(time, shard-id)` order and the observer
+//! sees them serially. Because shards are independent and the merge order
+//! is fixed, the outcome stream, the observer calls and the final report
+//! are byte-identical whatever the thread count — the same invariant CI
+//! enforces for the serial engine.
+//!
+//! The router must be `Fn + Sync` (shared across workers); routing tables
+//! and scenario route plans qualify. Stateful `FnMut` routers — e.g. a
+//! policy mid-training — cannot be shared across threads and instead go
+//! through [`ShardedFleetEngine::step`], which advances shards serially
+//! in stable order (still through the same coordinator, so the contract
+//! and the outputs are unchanged).
+
+use hec_sim::fleet::{
+    FleetReport, FleetScenario, JobEvent, RouteCtx, ShardPlan, ShardedFleetEngine,
+};
+
+use crate::parallel::parallel_for_each_mut;
+
+/// Result of one sharded fleet run: the merged report plus per-shard
+/// event counts (for per-shard throughput reporting in `repro_fleet`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedFleetRun {
+    /// The merged, deterministic fleet report.
+    pub report: FleetReport,
+    /// Discrete events processed by each shard, in shard order.
+    pub shard_events: Vec<u64>,
+}
+
+/// Runs a shard plan to completion, advancing shards **in parallel**
+/// (up to `HEC_THREADS` workers) and delivering every merged outcome to
+/// `observer` in the deterministic `(time, shard-id)` order.
+///
+/// With a one-shard plan this is exactly the serial step loop (and its
+/// byte-identical report).
+///
+/// # Panics
+///
+/// Panics if the router returns a layer outside the topology.
+pub fn run_plan(
+    plan: &ShardPlan,
+    router: &(dyn Fn(&RouteCtx) -> usize + Sync),
+    observer: &mut dyn FnMut(&JobEvent),
+) -> ShardedFleetRun {
+    let mut engine = ShardedFleetEngine::new(plan);
+    if engine.num_shards() == 1 {
+        let mut serial = |ctx: &RouteCtx| router(ctx);
+        while let Some(ev) = engine.step(&mut serial) {
+            observer(&ev);
+        }
+    } else {
+        while let Some(barrier) = engine.next_barrier() {
+            parallel_for_each_mut(engine.shards_mut(), |_s, shard| {
+                let mut shim = |ctx: &RouteCtx| router(ctx);
+                shard.advance_to(barrier, &mut shim);
+            });
+            engine.merge_window();
+            while let Some(ev) = engine.pop_ready() {
+                observer(&ev);
+            }
+        }
+    }
+    let shard_events = (0..engine.num_shards()).map(|s| engine.shards_mut()[s].events()).collect();
+    ShardedFleetRun { report: engine.report(), shard_events }
+}
+
+/// Runs `scenario` under its own routing plans, partitioned into
+/// `shards` shards and driven in parallel — the scale tier behind
+/// `repro_fleet --shards`.
+///
+/// # Panics
+///
+/// Panics if `shards` is 0 or the scenario has no cohorts.
+pub fn run_scenario_sharded(scenario: &FleetScenario, shards: usize) -> ShardedFleetRun {
+    let plan = ShardPlan::new(scenario, shards);
+    run_plan(&plan, &|ctx: &RouteCtx| scenario.planned_layer(ctx.cohort, ctx.seq), &mut |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_thread_count;
+    use hec_sim::fleet::{FleetScale, FleetSim};
+
+    /// The serial step driver and the parallel window driver must produce
+    /// the same outcome stream and byte-identical reports.
+    fn step_driven(sc: &FleetScenario, shards: usize) -> (Vec<JobEvent>, FleetReport) {
+        let plan = ShardPlan::new(sc, shards);
+        let mut engine = ShardedFleetEngine::new(&plan);
+        let mut router = |ctx: &RouteCtx| sc.planned_layer(ctx.cohort, ctx.seq);
+        let mut outcomes = Vec::new();
+        while let Some(ev) = engine.step(&mut router) {
+            outcomes.push(ev);
+        }
+        (outcomes, engine.report())
+    }
+
+    fn window_driven(
+        sc: &FleetScenario,
+        shards: usize,
+        threads: usize,
+    ) -> (Vec<JobEvent>, ShardedFleetRun) {
+        let plan = ShardPlan::new(sc, shards);
+        let mut outcomes = Vec::new();
+        let run = with_thread_count(threads, || {
+            run_plan(&plan, &|ctx: &RouteCtx| sc.planned_layer(ctx.cohort, ctx.seq), &mut |ev| {
+                outcomes.push(*ev)
+            })
+        });
+        (outcomes, run)
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_step_driver() {
+        for name in FleetScenario::NAMES {
+            let sc = FleetScenario::by_name(name, FleetScale::Quick).unwrap();
+            let (step_ev, step_rep) = step_driven(&sc, 4);
+            let (win_ev, win_run) = window_driven(&sc, 4, 4);
+            assert_eq!(step_ev, win_ev, "{name}: outcome streams diverged");
+            assert_eq!(step_rep, win_run.report, "{name}: reports diverged");
+            assert_eq!(win_run.shard_events.len(), 4, "{name}");
+            assert_eq!(win_run.shard_events.iter().sum::<u64>(), win_run.report.events, "{name}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant() {
+        let sc = FleetScenario::flash_crowd(FleetScale::Quick);
+        let (ev_1, run_1) = window_driven(&sc, 4, 1);
+        let (ev_4, run_4) = window_driven(&sc, 4, 4);
+        assert_eq!(ev_1, ev_4, "outcome stream depends on HEC_THREADS");
+        assert_eq!(run_1, run_4, "report depends on HEC_THREADS");
+        assert_eq!(run_1.report.to_text(), run_4.report.to_text());
+        assert_eq!(run_1.report.layers_csv(), run_4.report.layers_csv());
+        assert_eq!(run_1.report.trace_csv(), run_4.report.trace_csv());
+    }
+
+    #[test]
+    fn one_shard_run_matches_the_serial_engine_bytes() {
+        for name in FleetScenario::NAMES {
+            let sc = FleetScenario::by_name(name, FleetScale::Quick).unwrap();
+            let serial = FleetSim::new(&sc).run();
+            let run = run_scenario_sharded(&sc, 1);
+            assert_eq!(serial, run.report, "{name}");
+            assert_eq!(serial.to_text(), run.report.to_text(), "{name}");
+        }
+    }
+
+    #[test]
+    fn scenario_helper_conserves_windows() {
+        let sc = FleetScenario::edge_saturated(FleetScale::Quick);
+        let run = run_scenario_sharded(&sc, 3);
+        assert_eq!(run.report.emitted, sc.total_windows());
+        assert_eq!(run.report.served + run.report.dropped, run.report.emitted);
+    }
+}

@@ -14,8 +14,10 @@
 //! and pays load-dependent delay, which the per-window Fig. 3b replay
 //! cannot express.
 //!
-//! The driver is built on the step-wise [`FleetEngine`] (the same engine
-//! [`crate::fleet_train`] trains inside) and routes **load-aware**
+//! The driver pulls outcomes from the sharded coordinator's resumable
+//! `step` contract (a one-shard [`ShardedFleetEngine`], i.e. exactly the
+//! serial `FleetEngine` — the same engine [`crate::fleet_train`] trains
+//! inside) and routes **load-aware**
 //! policies natively: an Adaptive policy whose input dimension is
 //! `context + load features` gets the emitting moment's normalised queue
 //! depths appended to each window's context, instead of the static
@@ -30,7 +32,9 @@ use serde::{Deserialize, Serialize};
 
 use hec_bandit::{ContextScaler, LoadNormalizer, PolicyNetwork, RewardModel};
 use hec_data::BinaryConfusion;
-use hec_sim::fleet::{FleetEngine, FleetReport, FleetScenario, JobEvent, LatencyHist, RouteCtx};
+use hec_sim::fleet::{
+    FleetReport, FleetScenario, JobEvent, LatencyHist, RouteCtx, ShardPlan, ShardedFleetEngine,
+};
 
 use crate::oracle::Oracle;
 use crate::scheme::{SchemeEvaluator, SchemeKind};
@@ -365,7 +369,11 @@ pub fn stream_through_fleet(
     };
     let mut probe_map = ProbeMap::new(probe_cohort, n);
 
-    let mut engine = FleetEngine::new(scenario);
+    // The one-shard plan routes through the sharded coordinator's serial
+    // fast path: exactly `FleetEngine::step`, so stateful (`FnMut`)
+    // routers stay legal and the output is byte-identical to PR 3/4.
+    let plan = ShardPlan::new(scenario, 1);
+    let mut engine = ShardedFleetEngine::new(&plan);
     while let Some(ev) = {
         let mode = &mut mode;
         let oracle_of = &mut oracle_of;

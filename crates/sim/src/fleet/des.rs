@@ -135,6 +135,22 @@ struct LayerState {
     latency: LatencyHist,
 }
 
+/// A read-only snapshot of one layer's raw counters, consumed by the
+/// sharded engine when merging shard metrics into a fleet-wide
+/// [`FleetReport`].
+pub(crate) struct RawLayerStats<'e> {
+    pub offered: u64,
+    pub served: u64,
+    pub dropped_queue: u64,
+    pub dropped_link: u64,
+    pub busy_ms: f64,
+    pub link_work_ms: f64,
+    pub latency: &'e LatencyHist,
+    pub peak_queue_depth: usize,
+    pub peak_link_inflight: usize,
+    pub has_link: bool,
+}
+
 /// A resumable, step-wise fleet simulation: the pull-driven core behind
 /// [`FleetSim`].
 ///
@@ -313,6 +329,91 @@ impl<'a> FleetEngine<'a> {
     /// Windows emitted so far.
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Virtual time of the earliest pending event, or `None` when the run
+    /// is complete. This is what the sharded coordinator derives its
+    /// conservative barrier times from.
+    pub fn next_event_time_ms(&self) -> Option<f64> {
+        self.q.peek_time_ms()
+    }
+
+    /// Advances the simulation through every event at or before
+    /// `barrier_ms`, appending each per-window outcome to `sink` tagged
+    /// with the virtual time of the event that produced it (sink entries
+    /// are therefore time-ordered). The engine's own `pending` buffer is
+    /// drained into the sink, so mixing `advance_until` with [`FleetEngine::
+    /// step`] on the same engine never loses or duplicates outcomes.
+    ///
+    /// This is the shard-local primitive behind the sharded fleet engine:
+    /// a shard advances to the coordinator's barrier, and the coordinator
+    /// merges the timestamped sinks across shards in stable shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router returns a layer outside the topology.
+    pub fn advance_until(
+        &mut self,
+        barrier_ms: f64,
+        router: &mut dyn FnMut(&RouteCtx) -> usize,
+        sink: &mut Vec<(f64, JobEvent)>,
+    ) {
+        // Anything already pending was produced at or before the last
+        // processed event's time.
+        let carried = self.last_activity_ms;
+        for ev in self.pending.drain(..) {
+            sink.push((carried, ev));
+        }
+        while let Some(t) = self.q.peek_time_ms() {
+            if t > barrier_ms {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked event exists");
+            self.events += 1;
+            if !matches!(ev, Ev::Trace) {
+                self.last_activity_ms = now;
+            }
+            self.dispatch(now, ev, router);
+            for ev in self.pending.drain(..) {
+                sink.push((now, ev));
+            }
+        }
+    }
+
+    /// Raw per-layer counters and histograms, for the sharded engine's
+    /// order-stable metric merge.
+    pub(crate) fn raw_layers(&self) -> impl Iterator<Item = RawLayerStats<'_>> {
+        self.layers.iter().map(|layer| RawLayerStats {
+            offered: layer.offered,
+            served: layer.served,
+            dropped_queue: layer.dropped_queue,
+            dropped_link: layer.dropped_link,
+            busy_ms: layer.busy_ms,
+            link_work_ms: layer.link_work_ms,
+            latency: &layer.latency,
+            peak_queue_depth: match &layer.stage {
+                Some(Stage::Fifo(f)) => f.peak_depth,
+                Some(Stage::Ps(ps)) => ps.peak_inflight,
+                None => 0,
+            },
+            peak_link_inflight: layer.link.as_ref().map_or(0, |ps| ps.peak_inflight),
+            has_link: layer.link.is_some(),
+        })
+    }
+
+    /// Discrete events processed so far.
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Virtual time of the last processed non-trace event.
+    pub(crate) fn last_activity_ms(&self) -> f64 {
+        self.last_activity_ms
+    }
+
+    /// Queue-depth samples collected so far.
+    pub(crate) fn trace_samples(&self) -> &[TraceSample] {
+        &self.trace
     }
 
     /// Device-id range `(lo, hi)` of bucket `b` within cohort `c`.

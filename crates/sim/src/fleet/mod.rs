@@ -21,12 +21,19 @@
 //!   ([`FleetEngine`]) that lets a caller interleave "route window →
 //!   observe simulated completion → update policy" for in-fleet training;
 //! * [`metrics`] — latency histograms, per-layer utilization/drop
-//!   summaries, queue traces, CSV renderings.
+//!   summaries, queue traces, CSV renderings;
+//! * [`shard`] — the sharded engine: a deterministic device/resource
+//!   partitioner ([`ShardPlan`]) and a coordinator
+//!   ([`ShardedFleetEngine`]) that advances per-shard sub-engines to
+//!   conservative lookahead barriers — in parallel when driven by
+//!   `hec-core` — and merges their outcomes in stable shard order,
+//!   scaling scenarios to millions of devices.
 //!
-//! Determinism is a hard invariant: the engine is single-threaded over a
-//! totally-ordered event heap, all randomness is seeded hashing, and the
-//! same scenario + seed produce byte-identical reports on any host and
-//! under any `HEC_THREADS` setting.
+//! Determinism is a hard invariant: each engine runs over a
+//! totally-ordered event heap, all randomness is seeded hashing, shard
+//! outcomes merge in a fixed `(time, shard-id)` order, and the same
+//! scenario + seed + shard count produce byte-identical reports on any
+//! host and under any `HEC_THREADS` setting.
 //!
 //! [`HecTopology`]: crate::HecTopology
 
@@ -34,8 +41,10 @@ pub mod des;
 pub mod metrics;
 pub mod queueing;
 pub mod scenario;
+pub mod shard;
 
 pub use des::{FleetEngine, FleetSim, JobEvent, RouteCtx};
 pub use metrics::{DropReason, FleetReport, LatencyHist, LayerSummary, TraceSample};
 pub use queueing::{FifoQueue, JobRec, PsResource};
 pub use scenario::{CohortSpec, Discipline, FleetScale, FleetScenario, RoutePlan};
+pub use shard::{DeviceSlice, ShardEngine, ShardPlan, ShardedFleetEngine};

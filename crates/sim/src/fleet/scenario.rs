@@ -321,6 +321,48 @@ impl FleetScenario {
         sc
     }
 
+    /// Rescales the fleet in place by `factor`: every cohort's device
+    /// count is multiplied by `factor` while its emission period and
+    /// start time stretch by the same factor, so every offered-load
+    /// *rate* (devices per period) is preserved — the same twin scaling
+    /// that relates the Quick and Full scales, applied upward. The trace
+    /// sampling interval stretches too, keeping the sample count roughly
+    /// constant over the longer virtual horizon.
+    ///
+    /// Growing a scenario this way (e.g. `×10` to reach a million
+    /// devices) keeps its saturation behaviour intact, which is what
+    /// makes the sharded scale tier comparable to the recorded
+    /// full-profile runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scale_fleet(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive and finite, got {factor}"
+        );
+        for c in &mut self.cohorts {
+            c.devices = ((c.devices as f64 * factor).round() as u32).max(1);
+            c.period_ms *= factor;
+            c.start_ms *= factor;
+        }
+        self.trace_interval_ms *= factor;
+    }
+
+    /// Sets every cohort's per-device window count (the scale tier's
+    /// `--windows` override: total windows = devices × this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows_per_device` is zero.
+    pub fn set_windows_per_device(&mut self, windows_per_device: u32) {
+        assert!(windows_per_device >= 1, "windows_per_device must be at least 1");
+        for c in &mut self.cohorts {
+            c.windows_per_device = windows_per_device;
+        }
+    }
+
     /// The layer window `seq` of `cohort` executes at under the
     /// scenario's **own** routing plan (deterministic). Custom routers
     /// that scheme-route only some cohorts fall back to this for the

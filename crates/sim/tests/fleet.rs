@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 
-use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, FleetSim, LatencyHist, RoutePlan};
+use hec_sim::fleet::{
+    CohortSpec, FleetScale, FleetScenario, FleetSim, LatencyHist, RouteCtx, RoutePlan, ShardPlan,
+    ShardedFleetEngine,
+};
 use hec_sim::EventQueue;
 
 /// Builds a small scenario from sampled parameters.
@@ -282,6 +285,123 @@ proptest! {
                 "quantile({}) diverged after merge", q
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// [`LatencyHist::merge`] is associative and commutative over an
+    /// arbitrary partition of a sample stream into shard histograms —
+    /// merging the parts in any order or grouping renders every byte
+    /// identically, including when some parts are empty. (Samples are
+    /// drawn on a 0.25 ms lattice so the running f64 sums are exact and
+    /// the claim holds bit-for-bit, not just to rounding.)
+    #[test]
+    fn latency_hist_merge_order_never_changes_rendered_bytes(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u32..200_000, 0..60),
+            2..6,
+        ),
+        rot in 1usize..5,
+    ) {
+        let build = |quarters: &[u32]| {
+            let mut h = LatencyHist::new();
+            for &q in quarters {
+                h.record(f64::from(q) * 0.25);
+            }
+            h
+        };
+        let hists: Vec<LatencyHist> = parts.iter().map(|p| build(p)).collect();
+        // Any fixed rendering: if the histograms are bit-equal these
+        // strings are byte-equal, which is what the shard report relies
+        // on when it merges per-shard histograms into one summary line.
+        let render = |h: &LatencyHist| {
+            format!(
+                "n={} mean={:.3} p50={:.3} p99={:.3} max={:.3}",
+                h.count(), h.mean(), h.quantile(0.5), h.quantile(0.99), h.max()
+            )
+        };
+
+        // Left fold in shard order (what the report merge does).
+        let fold = |order: &[&LatencyHist]| {
+            let mut acc = LatencyHist::new();
+            for h in order {
+                acc.merge(h);
+            }
+            acc
+        };
+        let in_order: Vec<&LatencyHist> = hists.iter().collect();
+        let mut rotated = in_order.clone();
+        rotated.rotate_left(rot.min(hists.len() - 1));
+        let reversed: Vec<&LatencyHist> = hists.iter().rev().collect();
+
+        let a = fold(&in_order);
+        prop_assert_eq!(&fold(&rotated), &a, "rotation changed the merge");
+        prop_assert_eq!(&fold(&reversed), &a, "reversal changed the merge");
+
+        // Right-associated grouping: h0 + (h1 + (h2 + ...)).
+        let mut right = LatencyHist::new();
+        for h in hists.iter().rev() {
+            let mut tail = h.clone();
+            tail.merge(&right);
+            right = tail;
+        }
+        prop_assert_eq!(&right, &a, "reassociation changed the merge");
+
+        // And the whole partition collapses to the unpartitioned stream.
+        let all: Vec<u32> = parts.iter().flatten().copied().collect();
+        let direct = build(&all);
+        prop_assert_eq!(&direct, &a, "partitioning changed the histogram");
+        prop_assert_eq!(render(&direct), render(&a));
+    }
+
+    /// Any small random scenario, partitioned into any shard count,
+    /// conserves windows, reruns byte-identically, and at one shard is
+    /// byte-identical to the serial engine — the invariants `repro_fleet
+    /// --shards` and the CI shard-smoke job depend on.
+    #[test]
+    fn random_scenarios_shard_deterministically_and_conserve_windows(
+        devices in 1u32..40,
+        windows in 1u32..8,
+        period_ms in 1.0f64..500.0,
+        w0 in 0.05f64..1.0,
+        w1 in 0.05f64..1.0,
+        w2 in 0.05f64..1.0,
+        queue_capacity in 1usize..64,
+        batch_max in 1usize..6,
+        shards in 1usize..6,
+    ) {
+        let sc = scenario_from(devices, windows, period_ms, [w0, w1, w2], queue_capacity, batch_max);
+        let run = |sc: &FleetScenario, shards: usize| {
+            let plan = ShardPlan::new(sc, shards);
+            let mut engine = ShardedFleetEngine::new(&plan);
+            let mut router = |ctx: &RouteCtx| sc.planned_layer(ctx.cohort, ctx.seq);
+            while engine.step(&mut router).is_some() {}
+            engine.report()
+        };
+
+        let a = run(&sc, shards);
+        prop_assert_eq!(a.emitted, sc.total_windows());
+        prop_assert_eq!(a.served + a.dropped, a.emitted);
+        for layer in &a.layers {
+            prop_assert_eq!(
+                layer.served + layer.dropped_queue + layer.dropped_link,
+                layer.offered,
+                "layer {} leaks windows at {} shards", layer.layer, shards
+            );
+        }
+
+        let b = run(&sc, shards);
+        prop_assert_eq!(&a, &b, "sharded rerun diverged");
+        prop_assert_eq!(a.to_text(), b.to_text());
+        prop_assert_eq!(a.layers_csv(), b.layers_csv());
+        prop_assert_eq!(a.trace_csv(), b.trace_csv());
+
+        let serial = FleetSim::new(&sc).run();
+        let one = run(&sc, 1);
+        prop_assert_eq!(&one, &serial, "one shard is not the serial engine");
+        prop_assert_eq!(one.to_text(), serial.to_text());
     }
 }
 
