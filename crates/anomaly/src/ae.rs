@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use hec_data::LabeledWindow;
-use hec_nn::{Activation, Dense, Layer, Mse, RmsProp, Sequential};
+use hec_nn::{Activation, Dense, Layer, Mse, QuantMode, QuantizedDense, RmsProp, Sequential};
 use hec_tensor::Matrix;
 
 use crate::detector::{validate_training_set, AnomalyDetector, Detection, FitError, FitReport};
@@ -128,7 +128,62 @@ pub struct AutoencoderDetector {
     batch_size: usize,
     learning_rate: f32,
     quantization_bits: Option<u8>,
+    /// When set, inference runs through [`QuantNet`] instead of the f32 net.
+    quant_mode: Option<QuantMode>,
+    qnet: Option<QuantNet>,
+    /// Reused `1 × input` row vector and per-point scalar error buffer: the
+    /// per-window detection path allocates nothing once these are warm
+    /// (the f32 net's own forward excepted — the quantised path is fully
+    /// allocation-free).
+    x_buf: Matrix,
+    err_buf: Vec<f32>,
     rng: StdRng,
+}
+
+/// The int8 inference twin of the trained f32 [`Sequential`]: one
+/// [`QuantizedDense`] per layer (weights quantised once post-training) plus
+/// a pair of ping/pong activation buffers, so a warmed forward pass performs
+/// no allocating matmul calls — the same guarantee as the f32 hot path.
+struct QuantNet {
+    layers: Vec<QuantizedDense>,
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl QuantNet {
+    /// Snapshots the trained parameters of `net` (visited in layer order:
+    /// weight, bias per [`Dense`]) and quantises them under `mode`.
+    /// Activations follow the autoencoder convention: Tanh on hidden layers,
+    /// Linear on the last.
+    fn from_sequential(net: &mut Sequential, n_layers: usize, mode: QuantMode) -> Self {
+        let mut pairs: Vec<(Matrix, Matrix)> = Vec::new();
+        let mut pending: Option<Matrix> = None;
+        net.visit_params(&mut |param, _| match pending.take() {
+            Some(w) => pairs.push((w, param.clone())),
+            None => pending = Some(param.clone()),
+        });
+        assert_eq!(pairs.len(), n_layers, "autoencoder must be Dense-only");
+        let layers = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (w, b))| {
+                let act = if i == n_layers - 1 { Activation::Linear } else { Activation::Tanh };
+                QuantizedDense::from_weights(w, b, act, mode)
+            })
+            .collect();
+        QuantNet { layers, ping: Matrix::zeros(1, 1), pong: Matrix::zeros(1, 1) }
+    }
+
+    /// Inference forward pass; the returned reconstruction borrows an
+    /// internal buffer (reused across calls — allocation-free once warm).
+    fn forward(&mut self, x: &Matrix) -> &Matrix {
+        self.layers[0].forward_into(x, &mut self.ping);
+        for layer in &mut self.layers[1..] {
+            layer.forward_into(&self.ping, &mut self.pong);
+            std::mem::swap(&mut self.ping, &mut self.pong);
+        }
+        &self.ping
+    }
 }
 
 impl AutoencoderDetector {
@@ -157,6 +212,10 @@ impl AutoencoderDetector {
             batch_size: 32,
             learning_rate: 1e-3,
             quantization_bits: None,
+            quant_mode: None,
+            qnet: None,
+            x_buf: Matrix::zeros(1, 1),
+            err_buf: Vec::new(),
             rng,
         }
     }
@@ -177,6 +236,44 @@ impl AutoencoderDetector {
     /// compression, paper §III-B). Applied during `fit`, before calibration.
     pub fn set_quantization_bits(&mut self, bits: Option<u8>) {
         self.quantization_bits = bits;
+    }
+
+    /// Selects the int8 inference path: when `Some`, `fit` snapshots the
+    /// trained weights into a quantised network (weights quantised once,
+    /// activations per batch when the mode asks for it) and all detection
+    /// runs through the integer kernels. Takes effect at the next [`fit`]
+    /// or [`Self::requantize`].
+    ///
+    /// [`fit`]: AnomalyDetector::fit
+    pub fn set_quant_mode(&mut self, mode: Option<QuantMode>) {
+        self.quant_mode = mode;
+    }
+
+    /// Re-quantises a *trained* detector under a different mode (or back to
+    /// the f32 path with `None`) and recalibrates the scorer on
+    /// `calibration` — quantised reconstruction shifts the error
+    /// distribution, so the detection threshold must be re-fit. The f32
+    /// weights are untouched; one training run can sweep every scheme.
+    /// `calibration` must be all-normal windows (typically the training
+    /// set). Returns the recalibrated threshold.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `calibration` is empty or scorer fitting fails.
+    pub fn requantize(
+        &mut self,
+        mode: Option<QuantMode>,
+        calibration: &[LabeledWindow],
+    ) -> Result<f32, FitError> {
+        self.quant_mode = mode;
+        self.rebuild_quantized_net();
+        self.calibrate(calibration)
+    }
+
+    fn rebuild_quantized_net(&mut self) {
+        let n_layers = self.architecture.layer_sizes.len() - 1;
+        self.qnet =
+            self.quant_mode.map(|mode| QuantNet::from_sequential(&mut self.net, n_layers, mode));
     }
 
     /// Sets the window-flagging fraction (see field docs).
@@ -203,10 +300,11 @@ impl AutoencoderDetector {
         self.architecture.layer_sizes[0]
     }
 
-    /// Scores per-point reconstruction errors through the calibrated scorer.
-    fn detection_from_errors(&self, errors: &[Vec<f32>]) -> Detection {
+    /// Scores the per-point scalar errors in `errors` through the calibrated
+    /// scorer.
+    fn detection_from_scalar_errors(&self, errors: &[f32]) -> Detection {
         let scorer = self.scorer.as_ref().expect("detect called before fit");
-        let (min_log_pd, anomalous_fraction) = scorer.score_window(errors);
+        let (min_log_pd, anomalous_fraction) = scorer.score_window_scalar(errors);
         let anomalous = anomalous_fraction > self.flag_fraction;
         let confident = self.confidence.is_confident(
             min_log_pd,
@@ -217,9 +315,13 @@ impl AutoencoderDetector {
         Detection { anomalous, confident, min_log_pd, anomalous_fraction }
     }
 
-    /// Per-point reconstruction errors for one window.
-    fn reconstruction_errors(&mut self, window: &LabeledWindow) -> Vec<Vec<f32>> {
-        let flat = window.flattened();
+    /// Fills `self.err_buf` with the window's per-point scalar reconstruction
+    /// errors. This is the per-window hot path: the input copies into the
+    /// reused `self.x_buf` row vector and the errors land in the reused
+    /// buffer, so no allocation survives warm-up (on the quantised path; the
+    /// f32 `Sequential::predict` still allocates internally).
+    fn scalar_errors_into(&mut self, window: &LabeledWindow) {
+        let flat = window.data.as_slice();
         assert_eq!(
             flat.len(),
             self.input_dim(),
@@ -227,9 +329,52 @@ impl AutoencoderDetector {
             flat.len(),
             self.input_dim()
         );
-        let x = Matrix::row_vector(&flat);
-        let y = self.net.predict(&x);
-        flat.iter().zip(y.as_slice().iter()).map(|(a, b)| vec![a - b]).collect()
+        self.x_buf.resize(1, flat.len());
+        self.x_buf.as_mut_slice().copy_from_slice(flat);
+        self.err_buf.clear();
+        match self.qnet.as_mut() {
+            Some(q) => {
+                let y = q.forward(&self.x_buf);
+                self.err_buf.extend(flat.iter().zip(y.as_slice().iter()).map(|(a, b)| a - b));
+            }
+            None => {
+                let y = self.net.predict(&self.x_buf);
+                self.err_buf.extend(flat.iter().zip(y.as_slice().iter()).map(|(a, b)| a - b));
+            }
+        }
+    }
+
+    /// Calibrates the scorer on the current forward path's per-point errors
+    /// over `calibration` (all-normal windows).
+    fn calibrate(&mut self, calibration: &[LabeledWindow]) -> Result<f32, FitError> {
+        let mut per_window: Vec<Vec<f32>> = Vec::with_capacity(calibration.len());
+        for w in calibration {
+            self.scalar_errors_into(w);
+            per_window.push(self.err_buf.clone());
+        }
+        // The scorer fits on 1-D error vectors; materialise them only here,
+        // on the cold calibration path.
+        let all_errors: Vec<Vec<f32>> =
+            per_window.iter().flat_map(|errs| errs.iter().map(|&e| vec![e])).collect();
+        let mut scorer = LogPdScorer::fit_with_rule(&all_errors, 1e-6, self.threshold_rule)
+            .map_err(|e| match e {
+                crate::scorer::ScorerError::Gaussian(g) => FitError::Scoring(g),
+                crate::scorer::ScorerError::EmptyCalibrationSet => {
+                    FitError::InvalidTrainingSet { reason: "no calibration errors produced".into() }
+                }
+            })?;
+        if let ThresholdRule::WindowFpr(_) = self.threshold_rule {
+            let minima: Vec<f32> = per_window
+                .iter()
+                .map(|errs| {
+                    errs.iter().map(|&e| scorer.log_pd_scalar(e)).fold(f32::INFINITY, f32::min)
+                })
+                .collect();
+            scorer.set_threshold(self.threshold_rule.threshold(&minima));
+        }
+        let threshold = scorer.threshold();
+        self.scorer = Some(scorer);
+        Ok(threshold)
     }
 }
 
@@ -279,32 +424,17 @@ impl AnomalyDetector for AutoencoderDetector {
             });
         }
 
-        // Calibrate the scorer on the training set's per-point errors.
-        let per_window: Vec<Vec<Vec<f32>>> =
-            train.iter().map(|w| self.reconstruction_errors(w)).collect();
-        let all_errors: Vec<Vec<f32>> = per_window.iter().flatten().cloned().collect();
-        let mut scorer = LogPdScorer::fit_with_rule(&all_errors, 1e-6, self.threshold_rule)
-            .map_err(|e| match e {
-                crate::scorer::ScorerError::Gaussian(g) => FitError::Scoring(g),
-                crate::scorer::ScorerError::EmptyCalibrationSet => {
-                    FitError::InvalidTrainingSet { reason: "no calibration errors produced".into() }
-                }
-            })?;
-        if let ThresholdRule::WindowFpr(_) = self.threshold_rule {
-            let minima: Vec<f32> = per_window
-                .iter()
-                .map(|errs| errs.iter().map(|e| scorer.log_pd(e)).fold(f32::INFINITY, f32::min))
-                .collect();
-            scorer.set_threshold(self.threshold_rule.threshold(&minima));
-        }
-        let threshold = scorer.threshold();
-        self.scorer = Some(scorer);
+        // Snapshot the trained weights into the int8 twin (if selected),
+        // then calibrate the scorer on whichever forward path detection
+        // will actually use.
+        self.rebuild_quantized_net();
+        let threshold = self.calibrate(train)?;
         Ok(FitReport { epochs, final_loss, threshold })
     }
 
     fn detect(&mut self, window: &LabeledWindow) -> Detection {
-        let errors = self.reconstruction_errors(window);
-        self.detection_from_errors(&errors)
+        self.scalar_errors_into(window);
+        self.detection_from_scalar_errors(&self.err_buf)
     }
 
     /// Batched scoring: the whole corpus becomes one `windows × input` matrix
@@ -329,18 +459,27 @@ impl AnomalyDetector for AutoencoderDetector {
             data.extend_from_slice(&flat);
         }
         let x = Matrix::from_vec(windows.len(), dim, data);
-        let y = self.net.predict(&x);
-        (0..windows.len())
-            .map(|r| {
-                let errors: Vec<Vec<f32>> =
-                    x.row(r).iter().zip(y.row(r).iter()).map(|(a, b)| vec![a - b]).collect();
-                self.detection_from_errors(&errors)
-            })
-            .collect()
+        // One clone of the batched reconstruction releases the forward
+        // buffers before per-row scoring (which reuses `self.err_buf`).
+        let y: Matrix = match self.qnet.as_mut() {
+            Some(q) => q.forward(&x).clone(),
+            None => self.net.predict(&x),
+        };
+        let mut detections = Vec::with_capacity(windows.len());
+        for r in 0..windows.len() {
+            self.err_buf.clear();
+            self.err_buf.extend(x.row(r).iter().zip(y.row(r).iter()).map(|(a, b)| a - b));
+            detections.push(self.detection_from_scalar_errors(&self.err_buf));
+        }
+        detections
     }
 
     fn threshold(&self) -> Option<f32> {
         self.scorer.as_ref().map(|s| s.threshold())
+    }
+
+    fn quant_mode(&self) -> Option<QuantMode> {
+        self.quant_mode
     }
 }
 
@@ -453,6 +592,66 @@ mod tests {
         let d = det.detect(&ramp_window(0.0, 16));
         assert!(d.min_log_pd.is_finite());
         assert!((0.0..=1.0).contains(&d.anomalous_fraction));
+    }
+
+    #[test]
+    fn quantised_detector_fits_and_separates() {
+        use hec_nn::{QuantMode, QuantScheme};
+        for mode in
+            [QuantMode::weight_only(QuantScheme::PerTensor), QuantMode::int8(QuantScheme::PerRow)]
+        {
+            let mut det = AutoencoderDetector::new("ae-q", AeArchitecture::cloud(16), 1);
+            det.set_quant_mode(Some(mode));
+            det.fit(&train_set(16), 150).unwrap();
+            assert!(!det.detect(&ramp_window(0.001, 16)).anomalous, "{}", mode.label());
+            let flat = LabeledWindow::new(Matrix::from_vec(16, 1, vec![0.5; 16]), true);
+            assert!(det.detect(&flat).anomalous, "{}", mode.label());
+        }
+    }
+
+    #[test]
+    fn quantised_detect_batch_matches_per_window() {
+        use hec_nn::{QuantMode, QuantScheme};
+        let mut det = AutoencoderDetector::new("ae-q", AeArchitecture::cloud(16), 1);
+        det.set_quant_mode(Some(QuantMode::int8(QuantScheme::PerTensor)));
+        det.fit(&train_set(16), 80).unwrap();
+        let windows = vec![
+            ramp_window(0.001, 16),
+            LabeledWindow::new(Matrix::from_vec(16, 1, vec![0.5; 16]), true),
+            ramp_window(0.004, 16),
+        ];
+        let batched = det.detect_batch(&windows);
+        let single: Vec<Detection> = windows.iter().map(|w| det.detect(w)).collect();
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn requantize_sweeps_schemes_and_restores_f32_exactly() {
+        use hec_nn::{QuantMode, QuantScheme};
+        let train = train_set(16);
+        let mut det = AutoencoderDetector::new("ae", AeArchitecture::cloud(16), 1);
+        let report = det.fit(&train, 80).unwrap();
+        let f32_threshold = report.threshold;
+        let normal = ramp_window(0.001, 16);
+        let f32_detection = det.detect(&normal);
+
+        // Sweep every scheme off one training run: the f32 weights stay
+        // intact, only the quantised twin and the threshold change.
+        for mode in [
+            QuantMode::weight_only(QuantScheme::PerTensor),
+            QuantMode::weight_only(QuantScheme::PerRow),
+            QuantMode::int8(QuantScheme::PerTensor),
+            QuantMode::int8(QuantScheme::PerRow),
+        ] {
+            let t = det.requantize(Some(mode), &train).unwrap();
+            assert!(t.is_finite(), "{}", mode.label());
+            assert_eq!(det.quant_mode(), Some(mode));
+        }
+
+        // Back to f32: threshold and detections must round-trip exactly.
+        let t = det.requantize(None, &train).unwrap();
+        assert_eq!(t, f32_threshold);
+        assert_eq!(det.detect(&normal), f32_detection);
     }
 
     #[test]

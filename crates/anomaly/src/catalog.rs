@@ -74,6 +74,9 @@ pub struct ModelSpec {
     pub layer: HecLayer,
     /// Trainable parameter count.
     pub params: usize,
+    /// Int8 quantisation mode label (e.g. `int8-per-row`) when this model's
+    /// inference runs the quantised path; `None` for the f32 path.
+    pub quant: Option<String>,
 }
 
 /// A trained (or trainable) set of three detectors, one per HEC layer.
@@ -99,6 +102,33 @@ impl ModelCatalog {
         Self {
             detectors: vec![
                 Box::new(AutoencoderDetector::new("AE-IoT", AeArchitecture::iot(input_dim), seed)),
+                Box::new(AutoencoderDetector::new(
+                    "AE-Edge",
+                    AeArchitecture::edge(input_dim),
+                    seed.wrapping_add(1),
+                )),
+                Box::new(AutoencoderDetector::new(
+                    "AE-Cloud",
+                    AeArchitecture::cloud(input_dim),
+                    seed.wrapping_add(2),
+                )),
+            ],
+        }
+    }
+
+    /// Like [`Self::univariate`] but the layer-0 (IoT) detector opts into
+    /// the int8 quantised inference path under `mode` — weights quantised
+    /// once post-training, activations per batch when the mode asks for it.
+    /// The edge and cloud detectors keep the f32 path: the paper's premise
+    /// is that *on-device* inference is the resource-constrained one, and
+    /// the quantised layer-0 delay is what feeds back into the fleet's
+    /// delay economy.
+    pub fn univariate_quantized(input_dim: usize, seed: u64, mode: hec_nn::QuantMode) -> Self {
+        let mut iot = AutoencoderDetector::new("AE-IoT", AeArchitecture::iot(input_dim), seed);
+        iot.set_quant_mode(Some(mode));
+        Self {
+            detectors: vec![
+                Box::new(iot),
                 Box::new(AutoencoderDetector::new(
                     "AE-Edge",
                     AeArchitecture::edge(input_dim),
@@ -160,6 +190,7 @@ impl ModelCatalog {
                 name: d.name().to_owned(),
                 layer,
                 params: d.param_count(),
+                quant: d.quant_mode().map(|m| m.label()),
             })
             .collect()
     }
@@ -207,6 +238,19 @@ mod tests {
         assert_eq!(specs[2].name, "BiLSTM-seq2seq-Cloud");
         assert!(specs[0].params < specs[1].params);
         assert!(specs[1].params < specs[2].params);
+    }
+
+    #[test]
+    fn quantized_catalog_marks_layer0_only() {
+        use hec_nn::{QuantMode, QuantScheme};
+        let catalog =
+            ModelCatalog::univariate_quantized(96, 0, QuantMode::int8(QuantScheme::PerRow));
+        let specs = catalog.specs();
+        assert_eq!(specs[0].quant.as_deref(), Some("int8-per-row"));
+        assert_eq!(specs[1].quant, None);
+        assert_eq!(specs[2].quant, None);
+        // The plain catalog is entirely f32.
+        assert!(ModelCatalog::univariate(96, 0).specs().iter().all(|s| s.quant.is_none()));
     }
 
     #[test]

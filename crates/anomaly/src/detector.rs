@@ -128,6 +128,13 @@ pub trait AnomalyDetector {
     fn threshold(&self) -> Option<f32> {
         None
     }
+
+    /// The int8 quantisation mode this detector's inference runs under, if
+    /// any — `None` means the f32 path. Surfaces in [`crate::ModelSpec`] so
+    /// reports show which catalog entries are quantised.
+    fn quant_mode(&self) -> Option<hec_nn::QuantMode> {
+        None
+    }
 }
 
 /// Validates the training-set contract shared by all detectors.

@@ -31,5 +31,6 @@ pub mod seq2seq_detector;
 pub use ae::{AeArchitecture, AutoencoderDetector};
 pub use catalog::{HecLayer, ModelCatalog, ModelSpec};
 pub use detector::{AnomalyDetector, Detection, FitError, FitReport};
+pub use hec_nn::{QuantMode, QuantScheme};
 pub use scorer::{ConfidenceRule, LogPdScorer, ScorerError, ThresholdRule};
 pub use seq2seq_detector::Seq2SeqDetector;

@@ -254,6 +254,16 @@ impl LogPdScorer {
         self.gaussian.log_pdf(error).expect("error-vector dimension mismatch")
     }
 
+    /// logPD of a single scalar error (1-D calibration) — allocation-free
+    /// and bit-identical to [`LogPdScorer::log_pd`] on `&[error]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scorer was calibrated on multivariate errors.
+    pub fn log_pd_scalar(&self, error: f32) -> f32 {
+        self.gaussian.log_pdf_scalar(error).expect("scorer is not 1-dimensional")
+    }
+
     /// Scores a window's per-point error vectors; returns
     /// `(min_log_pd, anomalous_fraction)` where a point is anomalous when its
     /// logPD is below the threshold.
@@ -267,6 +277,27 @@ impl LogPdScorer {
         let mut below = 0usize;
         for e in errors {
             let lp = self.log_pd(e);
+            min_lp = min_lp.min(lp);
+            if lp < self.threshold {
+                below += 1;
+            }
+        }
+        (min_lp, below as f32 / errors.len() as f32)
+    }
+
+    /// Scalar-error variant of [`LogPdScorer::score_window`] for univariate
+    /// models — the autoencoders' per-window hot path. No per-point vectors,
+    /// no allocation, same result to the bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors` is empty or the scorer is not 1-dimensional.
+    pub fn score_window_scalar(&self, errors: &[f32]) -> (f32, f32) {
+        assert!(!errors.is_empty(), "empty window");
+        let mut min_lp = f32::INFINITY;
+        let mut below = 0usize;
+        for &e in errors {
+            let lp = self.log_pd_scalar(e);
             min_lp = min_lp.min(lp);
             if lp < self.threshold {
                 below += 1;
@@ -305,6 +336,20 @@ mod tests {
         let (min_lp, frac) = scorer.score_window(&[vec![3.0], vec![0.0]]);
         assert!(min_lp < scorer.threshold());
         assert!((frac - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_scoring_is_bit_identical_to_vector_scoring() {
+        let scorer = LogPdScorer::fit(&calib(), 1e-4).unwrap();
+        let window: Vec<Vec<f32>> = vec![vec![0.01], vec![-0.07], vec![3.0], vec![0.0]];
+        let scalars: Vec<f32> = window.iter().map(|e| e[0]).collect();
+        let (min_v, frac_v) = scorer.score_window(&window);
+        let (min_s, frac_s) = scorer.score_window_scalar(&scalars);
+        assert_eq!(min_v.to_bits(), min_s.to_bits());
+        assert_eq!(frac_v.to_bits(), frac_s.to_bits());
+        for &e in &scalars {
+            assert_eq!(scorer.log_pd(&[e]).to_bits(), scorer.log_pd_scalar(e).to_bits());
+        }
     }
 
     #[test]

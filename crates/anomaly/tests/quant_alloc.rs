@@ -1,0 +1,93 @@
+//! Allocation accounting for the quantised detector hot path:
+//!
+//! * a warmed `AutoencoderDetector::detect` on the int8 path performs
+//!   **zero** heap allocations per window (counting global allocator) —
+//!   the input copies into a reused row vector, the integer kernels run in
+//!   thread-local scratch, and scoring walks a reused scalar error buffer;
+//! * batched detection makes **zero allocating matmul calls** — every
+//!   product routes through the `_into` kernels
+//!   (`hec_tensor::kernel::matmul_allocations` counts the allocating
+//!   wrapper calls).
+//!
+//! Everything lives in one `#[test]` so no concurrent test can disturb the
+//! global counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hec_anomaly::{AeArchitecture, AnomalyDetector, AutoencoderDetector};
+use hec_data::LabeledWindow;
+use hec_nn::{QuantMode, QuantScheme};
+use hec_tensor::Matrix;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn ramp_window(jitter: f32, n: usize) -> LabeledWindow {
+    let v: Vec<f32> = (0..n).map(|t| (t as f32 / n as f32) + jitter).collect();
+    LabeledWindow::new(Matrix::from_vec(n, 1, v), false)
+}
+
+#[test]
+fn quantised_detection_is_allocation_free_once_warm() {
+    let train: Vec<LabeledWindow> =
+        (0..40).map(|i| ramp_window(0.002 * (i % 7) as f32, 16)).collect();
+    let mut det = AutoencoderDetector::new("ae-q", AeArchitecture::iot(16), 1);
+    det.set_quant_mode(Some(QuantMode::int8(QuantScheme::PerRow)));
+    det.fit(&train, 30).unwrap();
+
+    // --- Per-window detection: zero total allocations once warm. ---
+    let window = ramp_window(0.001, 16);
+    let _ = det.detect(&window); // warmup: buffers and kernel scratch grow
+    let mut last_delta = usize::MAX;
+    for _attempt in 0..5 {
+        let before = allocations();
+        for _ in 0..32 {
+            let _ = det.detect(&window);
+        }
+        last_delta = allocations() - before;
+        if last_delta == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        last_delta, 0,
+        "warmed quantised detect performed {last_delta} heap allocations per window batch"
+    );
+
+    // --- Batched detection: zero allocating matmul wrapper calls (the
+    // batch matrix and results vector are the only fresh memory). ---
+    let windows: Vec<LabeledWindow> = (0..8).map(|i| ramp_window(0.001 * i as f32, 16)).collect();
+    let _ = det.detect_batch(&windows); // warmup
+    let wrapper_before = hec_tensor::kernel::matmul_allocations();
+    let _ = det.detect_batch(&windows);
+    assert_eq!(
+        hec_tensor::kernel::matmul_allocations(),
+        wrapper_before,
+        "quantised detect_batch performed allocating matmul calls"
+    );
+}

@@ -205,6 +205,18 @@ impl Experiment {
         &self.topology
     }
 
+    /// Replaces `layer`'s execution time in this experiment's topology —
+    /// every downstream consumer (the static delay table, policy training,
+    /// scheme evaluation) sees the override. This is how `repro_quant`'s
+    /// measured quantised layer-0 delay feeds the reward economy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range or `ms` is not finite and positive.
+    pub fn override_exec_ms(&mut self, layer: usize, ms: f64) {
+        self.topology = self.topology.clone().with_exec_ms(layer, ms);
+    }
+
     /// The experiment configuration.
     pub fn config(&self) -> &ExperimentConfig {
         &self.config

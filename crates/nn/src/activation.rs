@@ -33,6 +33,18 @@ impl Activation {
         }
     }
 
+    /// Applies the activation to every element of `m` in place — the
+    /// allocation-free sibling of [`Activation::apply`] used by the
+    /// quantised inference path.
+    pub fn apply_inplace(self, m: &mut Matrix) {
+        match self {
+            Activation::Linear => {}
+            Activation::Sigmoid => m.map_inplace(sigmoid),
+            Activation::Tanh => m.map_inplace(f32::tanh),
+            Activation::Relu => m.map_inplace(|x| x.max(0.0)),
+        }
+    }
+
     /// Derivative `f'(x)` expressed as a function of the activated output
     /// `y = f(x)`.
     pub fn derivative_from_output(self, y: &Matrix) -> Matrix {

@@ -21,6 +21,10 @@
 //!   matrix product, plus the `_into` buffer-reuse convention: hot paths call
 //!   `matmul_into`/`t_matmul_into`/`matmul_t_into` with caller-owned buffers
 //!   so steady-state training allocates no matmul temporaries.
+//! * [`quantize`] — the int8 inference substrate: [`QuantizedMatrix`] with
+//!   per-tensor/per-row affine parameters ([`QuantScheme`]) multiplying
+//!   through the `gemm_*_i8` integer kernels, bit-identical across reruns
+//!   and thread counts.
 //!
 //! # Example
 //!
@@ -44,4 +48,5 @@ pub mod stats;
 pub mod vecops;
 
 pub use matrix::Matrix;
+pub use quantize::{QuantParams, QuantScheme, QuantizedMatrix};
 pub use stats::{Gaussian, GaussianError};

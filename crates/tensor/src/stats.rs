@@ -177,6 +177,26 @@ impl Gaussian {
         Ok(-0.5 * (d * (2.0 * std::f32::consts::PI).ln() + self.log_det + maha_sq))
     }
 
+    /// Log probability density of a 1-dimensional sample, allocation-free.
+    ///
+    /// Bit-identical to [`Gaussian::log_pdf`] on `&[x]`: at `d = 1` the
+    /// general path's difference vector and forward substitution reduce to
+    /// the scalar expressions below operation for operation, so detectors
+    /// can use this on their per-point hot path without shifting any
+    /// calibrated threshold by even an ulp.
+    ///
+    /// # Errors
+    ///
+    /// [`GaussianError::DimensionMismatch`] if the Gaussian is not 1-D.
+    pub fn log_pdf_scalar(&self, x: f32) -> Result<f32, GaussianError> {
+        if self.dim != 1 {
+            return Err(GaussianError::DimensionMismatch { expected: self.dim, got: 1 });
+        }
+        let y = (x - self.mean[0]) / self.chol[(0, 0)];
+        let maha_sq = y * y;
+        Ok(-0.5 * ((2.0 * std::f32::consts::PI).ln() + self.log_det + maha_sq))
+    }
+
     /// Squared Mahalanobis distance `(x-µ)ᵀ Σ⁻¹ (x-µ)`.
     ///
     /// # Errors
@@ -324,6 +344,23 @@ mod tests {
         let g = Gaussian::from_mean_cov(vec![0.0, 0.0], &Matrix::eye(2)).unwrap();
         assert_eq!(
             g.log_pdf(&[1.0]).unwrap_err(),
+            GaussianError::DimensionMismatch { expected: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn scalar_log_pdf_is_bit_identical_to_general_path() {
+        let samples = Matrix::from_vec(6, 1, vec![0.013, -0.021, 0.007, 0.049, -0.033, 0.002]);
+        let g = Gaussian::fit(&samples, 1e-6).unwrap();
+        for x in [-3.0f32, -0.02, 0.0, 0.013, 0.7, 42.0] {
+            let general = g.log_pdf(&[x]).unwrap();
+            let scalar = g.log_pdf_scalar(x).unwrap();
+            assert_eq!(general.to_bits(), scalar.to_bits(), "diverged at {x}");
+        }
+        // Multivariate Gaussians reject the scalar path.
+        let g2 = Gaussian::from_mean_cov(vec![0.0, 0.0], &Matrix::eye(2)).unwrap();
+        assert_eq!(
+            g2.log_pdf_scalar(1.0).unwrap_err(),
             GaussianError::DimensionMismatch { expected: 2, got: 1 }
         );
     }

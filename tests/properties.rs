@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use hec_ad::bandit::{CostModel, PolicyNetwork};
 use hec_ad::data::BinaryConfusion;
 use hec_ad::sim::{DatasetKind, EventQueue, HecTopology};
-use hec_ad::tensor::{vecops, Matrix};
+use hec_ad::tensor::{vecops, Matrix, QuantScheme, QuantizedMatrix};
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f32..10.0, rows * cols)
@@ -136,6 +136,73 @@ proptest! {
             let col = z.col(c);
             let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
             prop_assert!(mean.abs() < 1e-3, "col {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn affine_quantisation_error_within_half_scale(
+        m in small_matrix(5, 7),
+        per_row in any::<bool>(),
+    ) {
+        // scale = (hi-lo)/254 spends one of the 256 codes on slack, so every
+        // in-range value must land within scale/2 of its code — exactly, not
+        // approximately (the tiny epsilon absorbs f32 rounding only).
+        let scheme = if per_row { QuantScheme::PerRow } else { QuantScheme::PerTensor };
+        let q = QuantizedMatrix::quantize(&m, scheme);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            let p = if q.params().len() == 1 { q.params()[0] } else { q.params()[r] };
+            prop_assert!(p.scale.is_finite() && p.scale > 0.0, "bad scale {}", p.scale);
+            let bound = p.scale * 0.5 * 1.0001 + 1e-6;
+            for c in 0..m.cols() {
+                let err = (m.row(r)[c] - back.row(r)[c]).abs();
+                prop_assert!(err <= bound, "|{}| > {bound} at ({r},{c})", err);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_matrices_quantise_with_finite_params(
+        value in -10.0f32..10.0,
+        per_row in any::<bool>(),
+    ) {
+        // Degenerate ranges (constant or all-zero matrices) must not
+        // produce NaN/zero scales, and must round-trip within scale/2.
+        let scheme = if per_row { QuantScheme::PerRow } else { QuantScheme::PerTensor };
+        let m = Matrix::from_vec(3, 4, vec![value; 12]);
+        let q = QuantizedMatrix::quantize(&m, scheme);
+        for p in q.params() {
+            prop_assert!(p.scale.is_finite() && p.scale > 0.0);
+        }
+        let back = q.dequantize();
+        let p = q.params()[0];
+        for (a, b) in m.as_slice().iter().zip(back.as_slice().iter()) {
+            prop_assert!((a - b).abs() <= p.scale * 0.5 * 1.0001 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn gemm_nn_i8_matches_naive_i32_reference(
+        dims in (1usize..40, 1usize..40, 1usize..40),
+        a_pool in proptest::collection::vec(-128i8..=127i8, 40 * 40),
+        b_pool in proptest::collection::vec(-128i8..=127i8, 40 * 40),
+    ) {
+        // Dims up to 40 cross the MR=4 / NR=16 tile boundaries, so both the
+        // register micro-kernel and the ragged edges are exercised. The
+        // integer kernel must agree with the naive triple loop *exactly*.
+        let (m, k, n) = dims;
+        let a = &a_pool[..m * k];
+        let b = &b_pool[..k * n];
+        let mut out = vec![1i32; m * n]; // non-zero: the kernel must overwrite
+        hec_ad::tensor::kernel::gemm_nn_i8(m, k, n, a, b, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] as i32 * b[kk * n + j] as i32;
+                }
+                prop_assert_eq!(out[i * n + j], acc, "mismatch at ({}, {})", i, j);
+            }
         }
     }
 
