@@ -388,6 +388,7 @@ impl AnomalyDetector for AutoencoderDetector {
     }
 
     fn fit(&mut self, train: &[LabeledWindow], epochs: usize) -> Result<FitReport, FitError> {
+        let _span = hec_telemetry::WallSpan::new("anomaly.fit");
         validate_training_set(train)?;
         let dim = self.input_dim();
         for (i, w) in train.iter().enumerate() {
@@ -432,6 +433,10 @@ impl AnomalyDetector for AutoencoderDetector {
         Ok(FitReport { epochs, final_loss, threshold })
     }
 
+    // NOTE: single-window `detect` is deliberately uninstrumented — a
+    // wall span's sidecar fold allocates its key, and the warmed per-
+    // window path is proven allocation-free in tests/quant_alloc.rs.
+    // `detect_batch` (below) carries the span and alloc phase instead.
     fn detect(&mut self, window: &LabeledWindow) -> Detection {
         self.scalar_errors_into(window);
         self.detection_from_scalar_errors(&self.err_buf)
@@ -446,6 +451,8 @@ impl AnomalyDetector for AutoencoderDetector {
         if windows.is_empty() {
             return Vec::new();
         }
+        let _span = hec_telemetry::WallSpan::new("anomaly.detect_batch");
+        let _allocs = hec_telemetry::AllocPhase::new("anomaly.detect_batch");
         let dim = self.input_dim();
         let mut data = Vec::with_capacity(windows.len() * dim);
         for (i, w) in windows.iter().enumerate() {

@@ -12,40 +12,14 @@
 //! Everything lives in one `#[test]` so no concurrent test can disturb the
 //! global counters.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use hec_anomaly::{AeArchitecture, AnomalyDetector, AutoencoderDetector};
 use hec_data::LabeledWindow;
 use hec_nn::{QuantMode, QuantScheme};
+use hec_telemetry::{allocations, CountingAlloc};
 use hec_tensor::Matrix;
-
-struct CountingAlloc;
-
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocations() -> usize {
-    ALLOCS.load(Ordering::SeqCst)
-}
 
 fn ramp_window(jitter: f32, n: usize) -> LabeledWindow {
     let v: Vec<f32> = (0..n).map(|t| (t as f32 / n as f32) + jitter).collect();

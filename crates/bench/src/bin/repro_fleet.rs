@@ -38,8 +38,15 @@ use hec_core::{Experiment, SchemeKind};
 use hec_sim::fleet::{CohortSpec, FleetScale, FleetScenario, RoutePlan};
 use hec_sim::DatasetKind;
 
+/// Counting global allocator, so `AllocPhase` deltas recorded by the
+/// instrumented library layers are real in this binary.
+#[cfg(feature = "telemetry")]
+#[global_allocator]
+static GLOBAL_ALLOC: hec_telemetry::CountingAlloc = hec_telemetry::CountingAlloc;
+
 const USAGE: &str = "\
 usage: repro_fleet [out_dir] [--stream] [--devices N] [--windows N] [--shards N]
+                   [--telemetry DIR]
 
 Runs the named discrete-event fleet scenarios and prints deterministic,
 byte-stable reports on stdout (timing goes to stderr).
@@ -57,6 +64,10 @@ byte-stable reports on stdout (timing goes to stderr).
   --shards N     partition each fleet into N independent shards driven
                  in parallel on HEC_THREADS workers; N=1 (default) is
                  the serial engine (env fallback: HEC_SHARDS)
+  --telemetry DIR  capture the metric registry and virtual-clock span
+                 trace and write telemetry_snapshot.{txt,ndjson} and
+                 trace.json (Perfetto-loadable) into DIR; the files are
+                 byte-identical across reruns and HEC_THREADS values
   --help         print this help
 
 HEC_PROFILE=full|quick selects the base scale (default: full). For a
@@ -104,6 +115,7 @@ fn main() {
     let mut devices: Option<u64> = env_override("HEC_DEVICES");
     let mut windows: Option<u32> = env_override("HEC_WINDOWS");
     let mut shards: Option<usize> = env_override("HEC_SHARDS");
+    let mut telemetry_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -115,6 +127,7 @@ fn main() {
             "--devices" => devices = Some(parse_value(args.next(), "--devices")),
             "--windows" => windows = Some(parse_value(args.next(), "--windows")),
             "--shards" => shards = Some(parse_value(args.next(), "--shards")),
+            "--telemetry" => telemetry_dir = Some(parse_value(args.next(), "--telemetry")),
             _ if arg.starts_with('-') || out_dir.is_some() => {
                 eprintln!("repro_fleet: unexpected argument {arg:?}\n\n{USAGE}");
                 std::process::exit(2);
@@ -127,6 +140,9 @@ fn main() {
         eprintln!("repro_fleet: --devices/--windows/--shards must be at least 1");
         std::process::exit(2);
     }
+
+    hec_bench::telemetry::init("repro_fleet", telemetry_dir.as_deref());
+    let mut bench_metrics: Vec<(String, f64)> = Vec::new();
 
     let profile = Profile::from_env();
     let scale = scale_of(profile);
@@ -159,6 +175,8 @@ fn main() {
             report.events as f64 / wall / 1e6,
             report.emitted as f64 / wall / 1e6
         );
+        bench_metrics.push((format!("{name}.events_per_s"), report.events as f64 / wall));
+        bench_metrics.push((format!("{name}.windows_per_s"), report.emitted as f64 / wall));
         if shards > 1 {
             let per_shard: Vec<String> =
                 run.shard_events.iter().map(|&e| format!("{:.2}M", e as f64 / 1e6)).collect();
@@ -184,6 +202,11 @@ fn main() {
     if with_stream {
         stream_schemes(profile, scale, out_dir.as_deref());
     }
+
+    let metric_refs: Vec<(&str, f64)> =
+        bench_metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    hec_bench::telemetry::write_bench_json("repro_fleet", &metric_refs);
+    hec_bench::telemetry::dump("repro_fleet", telemetry_dir.as_deref());
 }
 
 /// Closed loop: train the univariate pipeline, then stream the evaluation

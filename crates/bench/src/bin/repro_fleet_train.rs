@@ -64,13 +64,23 @@ fn with_probe_cohort(
     (sc, probe)
 }
 
+/// Counting global allocator, so `AllocPhase` deltas recorded by the
+/// instrumented library layers are real in this binary.
+#[cfg(feature = "telemetry")]
+#[global_allocator]
+static GLOBAL_ALLOC: hec_telemetry::CountingAlloc = hec_telemetry::CountingAlloc;
+
 fn usage_exit(detail: &str) -> ! {
-    eprintln!("usage: repro_fleet_train [out_dir] [--layer0-exec-ms <ms>]  ({detail})");
+    eprintln!(
+        "usage: repro_fleet_train [out_dir] [--layer0-exec-ms <ms>] [--telemetry <dir>]  \
+         ({detail})"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut out_dir: Option<String> = None;
+    let mut telemetry_dir: Option<String> = None;
     let mut layer0_exec_ms: Option<f64> = std::env::var("HEC_LAYER0_EXEC_MS")
         .ok()
         .map(|v| v.parse().unwrap_or_else(|_| usage_exit("bad HEC_LAYER0_EXEC_MS")));
@@ -82,6 +92,9 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| usage_exit("--layer0-exec-ms needs a number"));
             layer0_exec_ms = Some(ms);
+        } else if arg == "--telemetry" {
+            telemetry_dir =
+                Some(args.next().unwrap_or_else(|| usage_exit("--telemetry needs a directory")));
         } else if arg.starts_with('-') || out_dir.is_some() {
             usage_exit(&format!("unexpected argument {arg:?}"));
         } else {
@@ -93,6 +106,8 @@ fn main() {
             usage_exit("layer-0 exec override must be finite and > 0");
         }
     }
+    hec_bench::telemetry::init("repro_fleet_train", telemetry_dir.as_deref());
+    let mut bench_metrics: Vec<(String, f64)> = Vec::new();
     let profile = Profile::from_env();
     let eval_scale = match profile {
         Profile::Quick => FleetScale::Quick,
@@ -157,7 +172,10 @@ fn main() {
             TrainConfig { epochs: fleet_epochs, entropy_beta: fleet_entropy_beta, ..policy_cfg },
             Some(train_probe),
         );
-        eprintln!("[timing] fleet-train {name}: {:.2} s", t0.elapsed().as_secs_f64());
+        let train_wall = t0.elapsed().as_secs_f64();
+        eprintln!("[timing] fleet-train {name}: {train_wall:.2} s");
+        bench_metrics
+            .push((format!("{name}.train_epoch_ms"), train_wall * 1e3 / fleet_epochs as f64));
         let curve = &out.curve.mean_reward_per_epoch;
         println!("scenario {name}:");
         println!(
@@ -201,7 +219,10 @@ fn main() {
                 ),
             ),
         ];
-        eprintln!("[timing] eval {name}: {:.2} s", t0.elapsed().as_secs_f64());
+        let eval_wall = t0.elapsed().as_secs_f64();
+        eprintln!("[timing] eval {name}: {eval_wall:.2} s");
+        let eval_windows: u64 = results.iter().map(|(_, r)| r.fleet.emitted).sum();
+        bench_metrics.push((format!("{name}.windows_per_s"), eval_windows as f64 / eval_wall));
         for (label, r) in &results {
             println!(
                 "  {label:<7} acc={:.4} f1={:.4} reward={:<9.2} mean={:.2} ms p99={:.2} ms \
@@ -241,4 +262,9 @@ fn main() {
         std::fs::write(&path, csv).expect("write comparison CSV");
         println!("wrote {path}");
     }
+
+    let metric_refs: Vec<(&str, f64)> =
+        bench_metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    hec_bench::telemetry::write_bench_json("repro_fleet_train", &metric_refs);
+    hec_bench::telemetry::dump("repro_fleet_train", telemetry_dir.as_deref());
 }

@@ -18,7 +18,7 @@
 //! layer-0 execution time scaled by the measured int8/f32 ratio).
 //!
 //! ```text
-//! cargo run --release -p hec-bench --bin repro_quant -- [out_dir]
+//! cargo run --release -p hec-bench --bin repro_quant -- [out_dir] [--telemetry <dir>]
 //! ```
 //!
 //! With `out_dir`, the table is also written to `quant_schemes.csv`.
@@ -30,6 +30,12 @@ use hec_anomaly::{AeArchitecture, AnomalyDetector, AutoencoderDetector, QuantMod
 use hec_bench::{univariate_config, Profile};
 use hec_core::{DatasetConfig, Experiment};
 use hec_data::{BinaryConfusion, LabeledWindow};
+
+/// Counting global allocator, so `AllocPhase` deltas recorded by the
+/// instrumented library layers are real in this binary.
+#[cfg(feature = "telemetry")]
+#[global_allocator]
+static GLOBAL_ALLOC: hec_telemetry::CountingAlloc = hec_telemetry::CountingAlloc;
 
 /// Accuracy/F1 of a fitted detector over the test split.
 fn evaluate(det: &mut AutoencoderDetector, test: &[LabeledWindow]) -> BinaryConfusion {
@@ -57,8 +63,27 @@ fn per_window_us(det: &mut AutoencoderDetector, test: &[LabeledWindow], passes: 
     t0.elapsed().as_secs_f64() * 1e6 / (passes * test.len()) as f64
 }
 
+fn usage_exit(detail: &str) -> ! {
+    eprintln!("usage: repro_quant [out_dir] [--telemetry <dir>]  ({detail})");
+    std::process::exit(2);
+}
+
 fn main() {
-    let out_dir = std::env::args().nth(1);
+    let mut out_dir: Option<String> = None;
+    let mut telemetry_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--telemetry" {
+            telemetry_dir =
+                Some(args.next().unwrap_or_else(|| usage_exit("--telemetry needs a directory")));
+        } else if arg.starts_with('-') || out_dir.is_some() {
+            usage_exit(&format!("unexpected argument {arg:?}"));
+        } else {
+            out_dir = Some(arg);
+        }
+    }
+    hec_bench::telemetry::init("repro_quant", telemetry_dir.as_deref());
+    let mut bench_metrics: Vec<(String, f64)> = Vec::new();
     let profile = Profile::from_env();
     println!("== repro_quant (profile: {profile:?}) ==\n");
 
@@ -89,7 +114,9 @@ fn main() {
     let mut det = AutoencoderDetector::new("AE-IoT", AeArchitecture::iot(input_dim), seed);
     let t0 = Instant::now();
     let report = det.fit(&train, ad_epochs).expect("AE-IoT fit");
-    eprintln!("[timing] f32 training: {:.2} s", t0.elapsed().as_secs_f64());
+    let fit_wall = t0.elapsed().as_secs_f64();
+    eprintln!("[timing] f32 training: {fit_wall:.2} s");
+    bench_metrics.push(("train_epoch_ms".into(), fit_wall * 1e3 / ad_epochs as f64));
 
     // Sub-microsecond per-window latency needs a long measurement window:
     // 200 full-profile passes over the test split is ~20 ms per scheme.
@@ -102,6 +129,7 @@ fn main() {
     let f32_threshold = report.threshold;
     let f32_us = per_window_us(&mut det, &test, passes);
     eprintln!("[latency] {:<15}: {f32_us:9.1} us/window", "f32");
+    bench_metrics.push(("f32.detect_us_per_window".into(), f32_us));
 
     let modes = [
         QuantMode::weight_only(QuantScheme::PerTensor),
@@ -134,6 +162,7 @@ fn main() {
         let confusion = evaluate(&mut det, &test);
         let us = per_window_us(&mut det, &test, passes);
         eprintln!("[latency] {:<15}: {us:9.1} us/window", mode.label());
+        bench_metrics.push((format!("{}.detect_us_per_window", mode.label()), us));
         if mode == QuantMode::int8(QuantScheme::PerRow) {
             int8_per_row_us = us;
         }
@@ -182,4 +211,9 @@ fn main() {
         std::fs::write(&path, csv).expect("write scheme CSV");
         println!("wrote {path}");
     }
+
+    let metric_refs: Vec<(&str, f64)> =
+        bench_metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    hec_bench::telemetry::write_bench_json("repro_quant", &metric_refs);
+    hec_bench::telemetry::dump("repro_quant", telemetry_dir.as_deref());
 }

@@ -27,22 +27,40 @@ use hec_data::power::PowerConfig;
 use hec_data::{DatasetSource, LabeledCorpus};
 use hec_sim::fleet::{FleetScale, FleetScenario};
 
+/// Counting global allocator, so `AllocPhase` deltas recorded by the
+/// instrumented library layers are real in this binary.
+#[cfg(feature = "telemetry")]
+#[global_allocator]
+static GLOBAL_ALLOC: hec_telemetry::CountingAlloc = hec_telemetry::CountingAlloc;
+
 /// Day length of the power fixture (readings per day).
 const POWER_SPD: usize = 24;
 /// Window/stride of the MHEALTH fixture protocol.
 const MHEALTH_WINDOW: usize = 16;
 const MHEALTH_STRIDE: usize = 8;
 
-fn fixtures_dir() -> String {
+/// Parsed command line: the fixtures directory and the telemetry dump
+/// directory.
+fn parse_args() -> (String, Option<String>) {
+    let mut fixtures: Option<String> = None;
+    let mut telemetry_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    match (args.next(), args.next()) {
-        (None, _) => format!("{}/../../fixtures", env!("CARGO_MANIFEST_DIR")),
-        (Some(dir), None) if !dir.starts_with('-') => dir,
-        _ => {
-            eprintln!("usage: repro_real [fixtures_dir]");
-            std::process::exit(2);
+    let usage_exit = || -> ! {
+        eprintln!("usage: repro_real [fixtures_dir] [--telemetry <dir>]");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
+        if arg == "--telemetry" {
+            telemetry_dir = Some(args.next().unwrap_or_else(|| usage_exit()));
+        } else if arg.starts_with('-') || fixtures.is_some() {
+            usage_exit();
+        } else {
+            fixtures = Some(arg);
         }
     }
+    let fixtures =
+        fixtures.unwrap_or_else(|| format!("{}/../../fixtures", env!("CARGO_MANIFEST_DIR")));
+    (fixtures, telemetry_dir)
 }
 
 fn describe(corpus: &LabeledCorpus) -> String {
@@ -149,7 +167,9 @@ fn show_errors(label: &str, load: impl Fn(MissingValuePolicy) -> Option<hec_data
 }
 
 fn main() {
-    let dir = fixtures_dir();
+    let (dir, telemetry_dir) = parse_args();
+    hec_bench::telemetry::init("repro_real", telemetry_dir.as_deref());
+    let mut bench_metrics: Vec<(String, f64)> = Vec::new();
     println!("== repro_real (fixture traces through the full paper protocol) ==\n");
 
     // --- univariate: power-demand CSV ---
@@ -177,7 +197,13 @@ fn main() {
         policy_hidden: 32,
         seed: 42,
     };
+    let n_windows = corpus.len();
+    let t0 = std::time::Instant::now();
     run_pipeline(&power_source.name(), config, corpus);
+    let wall = t0.elapsed().as_secs_f64();
+    eprintln!("[timing] power pipeline: {wall:.2} s");
+    bench_metrics.push(("power.pipeline_s".into(), wall));
+    bench_metrics.push(("power.windows_per_s".into(), n_windows as f64 / wall));
 
     // --- multivariate: MHEALTH NDJSON ---
     let mhealth_source = MhealthNdjsonSource::new(
@@ -209,7 +235,13 @@ fn main() {
         policy_hidden: 32,
         seed: 42,
     };
+    let n_windows = corpus.len();
+    let t0 = std::time::Instant::now();
     run_pipeline(&mhealth_source.name(), config, corpus);
+    let wall = t0.elapsed().as_secs_f64();
+    eprintln!("[timing] mhealth pipeline: {wall:.2} s");
+    bench_metrics.push(("mhealth.pipeline_s".into(), wall));
+    bench_metrics.push(("mhealth.windows_per_s".into(), n_windows as f64 / wall));
 
     // --- adversarial traces: line-numbered errors, not panics ---
     println!("--- adversarial traces ---");
@@ -226,4 +258,9 @@ fn main() {
         .load()
         .err()
     });
+
+    let metric_refs: Vec<(&str, f64)> =
+        bench_metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    hec_bench::telemetry::write_bench_json("repro_real", &metric_refs);
+    hec_bench::telemetry::dump("repro_real", telemetry_dir.as_deref());
 }

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod telemetry;
+
 use hec_bandit::TrainConfig;
 use hec_core::{DatasetConfig, ExperimentConfig};
 use hec_data::{mhealth::MhealthConfig, power::PowerConfig};

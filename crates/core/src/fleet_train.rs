@@ -119,6 +119,7 @@ pub fn train_policy_in_fleet(
     // sample→observe→update interleaving and its byte-identical weights.
     let plan = ShardPlan::new(scenario, 1);
     for _epoch in 0..config.epochs {
+        let _span = hec_telemetry::WallSpan::new("core.train_epoch");
         let mut engine = ShardedFleetEngine::new(&plan);
         let mut total = 0.0f32;
         let mut outcomes = 0u64;
@@ -170,6 +171,20 @@ pub fn train_policy_in_fleet(
         curve.push(total / outcomes.max(1) as f32);
         drops_per_epoch.push(drops);
         pending.iter_mut().for_each(|slot| *slot = None);
+        // Deterministic training-progress counts (per-epoch updates and
+        // drops are seed-fixed, so these belong in the registry).
+        if hec_telemetry::ENABLED {
+            hec_telemetry::counter_add(
+                "train.updates",
+                &[("scenario", scenario.name.as_str())],
+                outcomes,
+            );
+            hec_telemetry::counter_add(
+                "train.drops",
+                &[("scenario", scenario.name.as_str())],
+                drops,
+            );
+        }
     }
 
     FleetTrainOutcome {

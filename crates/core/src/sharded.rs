@@ -49,6 +49,7 @@ pub fn run_plan(
     router: &(dyn Fn(&RouteCtx) -> usize + Sync),
     observer: &mut dyn FnMut(&JobEvent),
 ) -> ShardedFleetRun {
+    let _span = hec_telemetry::WallSpan::new("core.fleet_run");
     let mut engine = ShardedFleetEngine::new(plan);
     if engine.num_shards() == 1 {
         let mut serial = |ctx: &RouteCtx| router(ctx);

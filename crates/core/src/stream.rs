@@ -33,7 +33,8 @@ use serde::{Deserialize, Serialize};
 use hec_bandit::{ContextScaler, LoadNormalizer, PolicyNetwork, RewardModel};
 use hec_data::BinaryConfusion;
 use hec_sim::fleet::{
-    FleetReport, FleetScenario, JobEvent, LatencyHist, RouteCtx, ShardPlan, ShardedFleetEngine,
+    DropReason, FleetReport, FleetScenario, JobEvent, LatencyHist, RouteCtx, ShardPlan,
+    ShardedFleetEngine,
 };
 
 use crate::oracle::Oracle;
@@ -122,6 +123,21 @@ pub fn to_csv(records: &[StreamRecord]) -> String {
     out
 }
 
+/// Per-layer drop accounting for one fleet stream: how many windows a
+/// layer shed, split by cause. Covers **every** dropped window of the run
+/// (background cohorts included), unlike `missed`, which counts only the
+/// scheme-routed ones — the "silent drop" blind spot this breakdown
+/// closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropBreakdown {
+    /// Layer index (0 = IoT).
+    pub layer: usize,
+    /// Windows dropped at the layer's compute queue (or device backlog).
+    pub queue: u64,
+    /// Windows dropped at the layer's uplink admission bound.
+    pub link: u64,
+}
+
 /// Result of streaming the corpus through the fleet under one scheme.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetStreamResult {
@@ -135,6 +151,11 @@ pub struct FleetStreamResult {
     pub confusion: BinaryConfusion,
     /// Windows shed by admission control before any model saw them.
     pub missed: u64,
+    /// Drop-by-layer / drop-by-cause breakdown over the whole run. Sums
+    /// to `fleet.dropped` (asserted — conservation is
+    /// `emitted == served + dropped`), and is mirrored into the telemetry
+    /// registry as `stream.drops{scheme,layer,cause}` counters.
+    pub drops: Vec<DropBreakdown>,
     /// `100 × mean(accuracy − cost)` over **all scheme-routed windows**,
     /// with each served window's cost charged at its *observed*
     /// load-dependent delay and each shed window paying the drop penalty
@@ -360,6 +381,9 @@ pub fn stream_through_fleet(
     let mut reward_sum = 0.0f64;
     let mut routed = 0u64;
     let mut routed_latency = LatencyHist::new();
+    // Every drop of the run, by layer and cause — background cohorts
+    // included, so the totals reconcile against the fleet report.
+    let mut drop_counts = vec![[0u64; 2]; scenario.topology().num_layers()];
     // Oracle index of each scheme-routed window, by sequence number
     // (`u32::MAX` = background window, not scored). Only needed when a
     // probe cohort leaves background windows interleaved in the stream.
@@ -407,7 +431,12 @@ pub fn stream_through_fleet(
                 routed_latency.record(latency_ms);
                 routed += 1;
             }
-            JobEvent::Dropped { seq, .. } => {
+            JobEvent::Dropped { seq, layer, reason, .. } => {
+                let cause = match reason {
+                    DropReason::QueueFull => 0,
+                    DropReason::LinkSaturated => 1,
+                };
+                drop_counts[layer][cause] += 1;
                 if index_of(seq).is_none() {
                     continue;
                 }
@@ -418,12 +447,43 @@ pub fn stream_through_fleet(
         }
     }
     let fleet = engine.report();
+    let drops: Vec<DropBreakdown> = drop_counts
+        .iter()
+        .enumerate()
+        .map(|(layer, c)| DropBreakdown { layer, queue: c[0], link: c[1] })
+        .collect();
+    let total_drops: u64 = drops.iter().map(|d| d.queue + d.link).sum();
+    debug_assert_eq!(total_drops, fleet.dropped, "drop breakdown diverged from the fleet report");
+    debug_assert_eq!(fleet.served + fleet.dropped, fleet.emitted, "window conservation violated");
+    if hec_telemetry::ENABLED {
+        let scheme = kind.to_string();
+        for d in &drops {
+            let layer = d.layer.to_string();
+            if d.queue > 0 {
+                hec_telemetry::counter_add(
+                    "stream.drops",
+                    &[("cause", "queue_full"), ("layer", &layer), ("scheme", &scheme)],
+                    d.queue,
+                );
+            }
+            if d.link > 0 {
+                hec_telemetry::counter_add(
+                    "stream.drops",
+                    &[("cause", "link_saturated"), ("layer", &layer), ("scheme", &scheme)],
+                    d.link,
+                );
+            }
+        }
+        hec_telemetry::counter_add("stream.missed", &[("scheme", &scheme)], missed);
+        hec_telemetry::counter_add("stream.routed", &[("scheme", &scheme)], routed);
+    }
     let mean_reward_x100 = 100.0 * reward_sum / routed.max(1) as f64;
     FleetStreamResult {
         scheme: kind,
         fleet,
         confusion,
         missed,
+        drops,
         mean_reward_x100,
         routed_mean_ms: routed_latency.mean(),
         routed_p99_ms: routed_latency.quantile(0.99),

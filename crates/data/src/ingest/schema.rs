@@ -129,8 +129,11 @@ impl DatasetSource for PowerCsvSource {
     }
 
     fn load(&self) -> Result<LabeledCorpus, IngestError> {
+        let _span = hec_telemetry::WallSpan::new("ingest.load");
         let src = open(&self.path, &trace_name(&self.path))?;
-        self.parse(src)
+        let corpus = self.parse(src)?;
+        record_ingest("power-csv", &corpus);
+        Ok(corpus)
     }
 }
 
@@ -241,8 +244,24 @@ impl DatasetSource for MhealthNdjsonSource {
     }
 
     fn load(&self) -> Result<LabeledCorpus, IngestError> {
+        let _span = hec_telemetry::WallSpan::new("ingest.load");
         let src = open(&self.path, &trace_name(&self.path))?;
-        self.parse(src)
+        let corpus = self.parse(src)?;
+        record_ingest("mhealth-ndjson", &corpus);
+        Ok(corpus)
+    }
+}
+
+/// Records a loaded corpus in the telemetry registry. Window and anomaly
+/// counts are pure functions of the trace file, so they are deterministic
+/// and registry-safe; parse wall time goes to the sidecar via the
+/// `ingest.load` span.
+fn record_ingest(format: &'static str, corpus: &LabeledCorpus) {
+    if hec_telemetry::ENABLED {
+        let labels = [("format", format)];
+        hec_telemetry::counter_add("ingest.windows", &labels, corpus.len() as u64);
+        let anomalous = corpus.windows.iter().filter(|w| w.anomalous).count();
+        hec_telemetry::counter_add("ingest.anomalous_windows", &labels, anomalous as u64);
     }
 }
 

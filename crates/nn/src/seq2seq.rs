@@ -211,6 +211,7 @@ impl Seq2Seq {
     ///
     /// Panics if `xs` is empty or channel counts disagree with the config.
     pub fn train_batch(&mut self, xs: &[Matrix], optimizer: &mut dyn Optimizer) -> f32 {
+        let _span = hec_telemetry::WallSpan::new("nn.train_batch");
         let batch = xs[0].rows();
         let t_len = xs.len();
         let (ys, _stacked_h) = self.decode_sequence(xs, true);

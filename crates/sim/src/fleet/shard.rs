@@ -280,6 +280,16 @@ pub struct ShardEngine<'a> {
     /// Outcomes of the current window, time-tagged and already
     /// globalized; drained by the coordinator's merge.
     outbox: Vec<(f64, JobEvent)>,
+    /// Shard index within the plan (trace-track and metric labelling).
+    shard_id: usize,
+    /// Virtual-trace track name, `<scenario>/shard<id>` (empty when
+    /// telemetry is compiled out).
+    track: String,
+    /// Lookahead windows this shard has been advanced through.
+    barriers: u64,
+    /// Windows in which the shard processed no events (it had nothing
+    /// at or before the barrier) — the lookahead-stall gauge.
+    stall_windows: u64,
 }
 
 impl ShardEngine<'_> {
@@ -295,6 +305,21 @@ impl ShardEngine<'_> {
         self.engine.events_processed()
     }
 
+    /// Shard index within the plan.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// Lookahead windows this shard has advanced through.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Lookahead windows in which this shard processed zero events.
+    pub fn stall_windows(&self) -> u64 {
+        self.stall_windows
+    }
+
     /// Advances this shard through every event at or before `barrier_ms`,
     /// buffering the produced outcomes. The router receives fleet-global
     /// contexts; safe to call from any thread (each shard is advanced by
@@ -304,13 +329,54 @@ impl ShardEngine<'_> {
     ///
     /// Panics if the router returns a layer outside the topology.
     pub fn advance_to(&mut self, barrier_ms: f64, router: &mut dyn FnMut(&RouteCtx) -> usize) {
-        let Self { engine, slices, seq_base, outbox } = self;
-        let (slices, sb): (&[DeviceSlice], u64) = (slices, *seq_base);
-        let from = outbox.len();
-        let mut wrapped = |ctx: &RouteCtx| router(&globalize_ctx(slices, sb, ctx));
-        engine.advance_until(barrier_ms, &mut wrapped, outbox);
-        for (_t, ev) in &mut outbox[from..] {
-            *ev = globalize_event(slices, sb, *ev);
+        let capture = hec_telemetry::trace_capture_enabled();
+        let window_start = if capture { self.engine.next_event_time_ms() } else { None };
+        let events_before = if hec_telemetry::ENABLED { self.engine.events_processed() } else { 0 };
+        let from;
+        {
+            let Self { engine, slices, seq_base, outbox, .. } = self;
+            let (slices, sb): (&[DeviceSlice], u64) = (slices, *seq_base);
+            from = outbox.len();
+            let mut wrapped = |ctx: &RouteCtx| router(&globalize_ctx(slices, sb, ctx));
+            engine.advance_until(barrier_ms, &mut wrapped, outbox);
+            for (_t, ev) in &mut outbox[from..] {
+                *ev = globalize_event(slices, sb, *ev);
+            }
+        }
+        if hec_telemetry::ENABLED {
+            self.barriers += 1;
+            if self.engine.events_processed() == events_before {
+                self.stall_windows += 1;
+            }
+            if capture {
+                if let Some(start) = window_start {
+                    let start = start.min(barrier_ms);
+                    hec_telemetry::vspan(&self.track, "advance", start, barrier_ms - start);
+                }
+                self.trace_outcomes(&self.outbox[from..]);
+            }
+        }
+    }
+
+    /// Records one virtual-trace event per buffered outcome: served
+    /// windows as residency spans (emission-to-completion is exactly the
+    /// latency), drops as instants tagged with layer and cause.
+    fn trace_outcomes(&self, outcomes: &[(f64, JobEvent)]) {
+        let jobs_track = format!("{}/jobs", self.track);
+        for &(t, ev) in outcomes {
+            match ev {
+                JobEvent::Served { layer, latency_ms, .. } => {
+                    hec_telemetry::vspan(
+                        &jobs_track,
+                        &format!("serve L{layer}"),
+                        t - latency_ms,
+                        latency_ms,
+                    );
+                }
+                JobEvent::Dropped { layer, reason, .. } => {
+                    hec_telemetry::vinstant(&jobs_track, &format!("drop L{layer} {reason:?}"), t);
+                }
+            }
         }
     }
 
@@ -318,10 +384,18 @@ impl ShardEngine<'_> {
     /// with global-coordinate translation (the identity for shard 0 of a
     /// one-shard plan).
     fn step_translated(&mut self, router: &mut dyn FnMut(&RouteCtx) -> usize) -> Option<JobEvent> {
-        let Self { engine, slices, seq_base, .. } = self;
-        let (slices, sb): (&[DeviceSlice], u64) = (slices, *seq_base);
-        let mut wrapped = |ctx: &RouteCtx| router(&globalize_ctx(slices, sb, ctx));
-        engine.step(&mut wrapped).map(|ev| globalize_event(slices, sb, ev))
+        let ev = {
+            let Self { engine, slices, seq_base, .. } = self;
+            let (slices, sb): (&[DeviceSlice], u64) = (slices, *seq_base);
+            let mut wrapped = |ctx: &RouteCtx| router(&globalize_ctx(slices, sb, ctx));
+            engine.step(&mut wrapped).map(|ev| globalize_event(slices, sb, ev))
+        };
+        if let Some(out) = ev {
+            if hec_telemetry::trace_capture_enabled() {
+                self.trace_outcomes(&[(self.engine.last_activity_ms(), out)]);
+            }
+        }
+        ev
     }
 }
 
@@ -348,11 +422,20 @@ impl<'a> ShardedFleetEngine<'a> {
         let shards = plan
             .shards
             .iter()
-            .map(|spec| ShardEngine {
+            .enumerate()
+            .map(|(s, spec)| ShardEngine {
                 engine: FleetEngine::with_topology(&spec.scenario, spec.topology.clone()),
                 slices: &spec.slices,
                 seq_base: spec.seq_base,
                 outbox: Vec::new(),
+                shard_id: s,
+                track: if hec_telemetry::ENABLED {
+                    format!("{}/shard{}", plan.scenario.name, s)
+                } else {
+                    String::new()
+                },
+                barriers: 0,
+                stall_windows: 0,
             })
             .collect();
         Self { plan, shards, ready: VecDeque::new() }
@@ -410,7 +493,14 @@ impl<'a> ShardedFleetEngine<'a> {
                 t = t.min(next);
             }
         }
-        t.is_finite().then_some(t + self.plan.lookahead_ms)
+        let barrier = t.is_finite().then_some(t + self.plan.lookahead_ms);
+        if let Some(b) = barrier {
+            if hec_telemetry::trace_capture_enabled() {
+                let track = format!("{}/coordinator", self.plan.scenario.name);
+                hec_telemetry::vinstant(&track, "barrier", b);
+            }
+        }
+        barrier
     }
 
     /// Mutable access to the shard engines, for parallel window
@@ -458,6 +548,9 @@ impl<'a> ShardedFleetEngine<'a> {
     /// order (order-invariant), peaks maxed, and utilizations recomputed
     /// against the partitioned capacity — all deterministic.
     pub fn report(&self) -> FleetReport {
+        if hec_telemetry::ENABLED {
+            self.record_registry_metrics();
+        }
         if self.shards.len() == 1 {
             return self.shards[0].engine.report();
         }
@@ -556,6 +649,65 @@ impl<'a> ShardedFleetEngine<'a> {
             overall_p99_ms: overall.quantile(0.99),
             trace: self.merged_trace(k),
         }
+    }
+
+    /// Copies per-shard progress and fleet totals into the global
+    /// telemetry registry. Everything recorded here is a virtual-clock or
+    /// count fact, so the registry snapshot stays byte-identical across
+    /// reruns and `HEC_THREADS` (recording happens on the coordinator
+    /// thread in stable shard order, and all values are set-semantics so
+    /// re-reporting is idempotent).
+    fn record_registry_metrics(&self) {
+        use hec_telemetry::{counter_set, gauge_set, hist_set, GeomHist};
+        let scenario = self.plan.scenario.name.as_str();
+        let k = self.plan.topology.num_layers();
+
+        for sh in &self.shards {
+            // Zero-padded ids keep lexicographic snapshot order numeric.
+            let id = format!("{:04}", sh.shard_id);
+            let labels = [("scenario", scenario), ("shard", id.as_str())];
+            let horizon = sh.engine.last_activity_ms();
+            counter_set("fleet.shard.events", &labels, sh.events());
+            counter_set("fleet.shard.barriers", &labels, sh.barriers);
+            counter_set("fleet.shard.stall_windows", &labels, sh.stall_windows);
+            gauge_set(
+                "fleet.shard.event_rate_per_ms",
+                &labels,
+                if horizon > 0.0 { sh.events() as f64 / horizon } else { 0.0 },
+            );
+        }
+
+        let mut overall = GeomHist::new();
+        let mut served = 0u64;
+        let mut dropped_queue = 0u64;
+        let mut dropped_link = 0u64;
+        for l in 0..k {
+            let mut layer_served = 0u64;
+            let mut layer_dq = 0u64;
+            let mut layer_dl = 0u64;
+            for sh in &self.shards {
+                if let Some(raw) = sh.engine.raw_layers().nth(l) {
+                    layer_served += raw.served;
+                    layer_dq += raw.dropped_queue;
+                    layer_dl += raw.dropped_link;
+                    overall.merge(raw.latency);
+                }
+            }
+            let layer = format!("{l}");
+            let labels = [("layer", layer.as_str()), ("scenario", scenario)];
+            counter_set("fleet.layer.served", &labels, layer_served);
+            counter_set("fleet.layer.dropped_queue", &labels, layer_dq);
+            counter_set("fleet.layer.dropped_link", &labels, layer_dl);
+            served += layer_served;
+            dropped_queue += layer_dq;
+            dropped_link += layer_dl;
+        }
+        let labels = [("scenario", scenario)];
+        counter_set("fleet.emitted", &labels, self.emitted());
+        counter_set("fleet.served", &labels, served);
+        counter_set("fleet.dropped", &labels, dropped_queue + dropped_link);
+        counter_set("fleet.events", &labels, self.events());
+        hist_set("fleet.latency_ms", &labels, &overall);
     }
 
     /// Element-wise sum of the shards' queue traces. Shards sample at

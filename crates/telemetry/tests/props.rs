@@ -1,0 +1,129 @@
+//! Property tests for the telemetry primitives:
+//!
+//! * histogram merge is associative and commutative (bitwise-exact on
+//!   every field for integer-valued samples, where f64 addition cannot
+//!   round; bins/count/min/max exact and sum within epsilon for arbitrary
+//!   floats);
+//! * a local [`Registry`] produces the same snapshot — byte-for-byte in
+//!   every sink format — whatever order its metrics were recorded in,
+//!   the property the global registry's cross-thread determinism rests
+//!   on.
+//!
+//! These run against the crate with or without the `enabled` feature:
+//! `GeomHist` and the local (non-global) `Registry` API are always
+//! compiled; only the global recording entry points gate on `ENABLED`.
+
+use proptest::prelude::*;
+
+use hec_telemetry::{GeomHist, Registry};
+
+fn hist_of(samples: &[f64]) -> GeomHist {
+    let mut h = GeomHist::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Bitwise equality on every observable field (PartialEq on the struct
+/// covers bins/count/min/max/sum; quantiles derive from those).
+fn assert_bitwise_eq(a: &GeomHist, b: &GeomHist) {
+    assert_eq!(a, b);
+    assert_eq!(a.sum().to_bits(), b.sum().to_bits(), "sum differs in bits");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Integer-valued samples: f64 addition over them is exact up to
+    /// 2^53, so merge must be bitwise-identical under any grouping or
+    /// ordering of the parts.
+    #[test]
+    fn hist_merge_associative_commutative_exact_on_integers(
+        a in proptest::collection::vec(0u32..1_000_000, 0..40),
+        b in proptest::collection::vec(0u32..1_000_000, 0..40),
+        c in proptest::collection::vec(0u32..1_000_000, 0..40),
+    ) {
+        let to_f = |v: &[u32]| v.iter().map(|&x| x as f64).collect::<Vec<_>>();
+        let (ha, hb, hc) = (hist_of(&to_f(&a)), hist_of(&to_f(&b)), hist_of(&to_f(&c)));
+
+        // Commutativity: a+b == b+a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        assert_bitwise_eq(&ab, &ba);
+
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        assert_bitwise_eq(&ab_c, &a_bc);
+
+        // Merge equals recording the concatenation in order.
+        let mut all = to_f(&a);
+        all.extend(to_f(&b));
+        all.extend(to_f(&c));
+        let direct = hist_of(&all);
+        assert_eq!(ab_c.count(), direct.count());
+        assert_bitwise_eq(&ab_c, &direct);
+    }
+
+    /// Arbitrary finite floats: the discrete fields (bins, count, min,
+    /// max) stay exact under reordering; only `sum` may round, and it
+    /// stays within a relative epsilon.
+    #[test]
+    fn hist_merge_commutative_on_floats(
+        a in proptest::collection::vec(0.0f64..1e12, 1..40),
+        b in proptest::collection::vec(0.0f64..1e12, 1..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.min().to_bits(), ba.min().to_bits());
+        assert_eq!(ab.max().to_bits(), ba.max().to_bits());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(ab.quantile(q).to_bits(), ba.quantile(q).to_bits());
+        }
+        let eps = 1e-9 * ab.sum().abs().max(1.0);
+        assert!((ab.sum() - ba.sum()).abs() <= eps, "{} vs {}", ab.sum(), ba.sum());
+    }
+
+    /// A registry's snapshot — in all three sink formats — is invariant
+    /// to the order metrics were recorded in.
+    #[test]
+    fn registry_snapshot_is_insertion_order_invariant(
+        counters in proptest::collection::vec((0usize..8, 1u64..1000), 1..24),
+        rot in 0usize..23,
+    ) {
+        const NAMES: [&str; 4] = ["a.count", "b.count", "c.count", "d.count"];
+        const SHARDS: [&str; 2] = ["0000", "0001"];
+        let key = |i: usize| (NAMES[i / 2], SHARDS[i % 2]);
+
+        let mut forward = Registry::new();
+        for &(i, n) in &counters {
+            let (name, shard) = key(i);
+            forward.counter_add(name, &[("shard", shard)], n);
+            forward.hist_record("lat", &[("shard", shard)], n as f64);
+        }
+
+        let rot = rot % counters.len();
+        let mut rotated = Registry::new();
+        for &(i, n) in counters[rot..].iter().chain(&counters[..rot]) {
+            let (name, shard) = key(i);
+            rotated.counter_add(name, &[("shard", shard)], n);
+            rotated.hist_record("lat", &[("shard", shard)], n as f64);
+        }
+
+        let (s1, s2) = (forward.snapshot(), rotated.snapshot());
+        assert_eq!(s1.to_text(), s2.to_text());
+        assert_eq!(s1.to_csv(), s2.to_csv());
+        assert_eq!(s1.to_ndjson(), s2.to_ndjson());
+    }
+}

@@ -59,10 +59,29 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use hec_telemetry::FastCounter;
+
 /// Rows of `A` per register tile.
 const MR: usize = 4;
 /// Columns of `B` per register tile (two 8-lane f32 vectors on AVX2).
 const NR: usize = 16;
+
+/// f32 gemm kernel invocations (`gemm_nn` + `gemm_tn`; `gemm_nt` routes
+/// through `gemm_nn` and is counted there). Relaxed statics, not registry
+/// entries: these sites sit inside parallel training loops where a mutex
+/// per call would serialise the workers. [`publish_telemetry`] copies them
+/// into the registry at snapshot time.
+static GEMM_F32_CALLS: FastCounter = FastCounter::new("tensor.gemm.f32_calls");
+/// i8×i8→i32 gemm kernel invocations (`gemm_nn_i8` + `gemm_nt_i8`).
+static GEMM_I8_CALLS: FastCounter = FastCounter::new("tensor.gemm.i8_calls");
+
+/// Publishes the kernel fast counters into the global telemetry registry
+/// (as unlabelled counters, set-semantics — safe to call repeatedly). A
+/// no-op when the `telemetry` feature is off.
+pub fn publish_telemetry() {
+    GEMM_F32_CALLS.publish();
+    GEMM_I8_CALLS.publish();
+}
 
 /// Allocating matmul wrapper calls since process start — see
 /// [`matmul_allocations`].
@@ -123,6 +142,7 @@ pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    GEMM_F32_CALLS.add(1);
     zero_ragged_tail(n, out);
     let mut i = 0;
     while i < m {
@@ -147,6 +167,7 @@ pub fn gemm_tn(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
     debug_assert_eq!(a.len(), r * m);
     debug_assert_eq!(b.len(), r * n);
     debug_assert_eq!(out.len(), m * n);
+    GEMM_F32_CALLS.add(1);
     zero_ragged_tail(n, out);
     let mut i = 0;
     while i < m {
@@ -203,6 +224,7 @@ pub fn gemm_nn_i8(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], out: &mut [i
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     debug_assert!(k <= 1 << 16, "i32 accumulator bound: k = {k} > 65536");
+    GEMM_I8_CALLS.add(1);
     if dot_route(k, n) {
         // Narrow output: repack B into Bᵀ rows and take the dot path.
         PACK_BT_I8.with(|cell| {
@@ -234,6 +256,7 @@ pub fn gemm_nt_i8(m: usize, k: usize, nr: usize, a: &[i8], b: &[i8], out: &mut [
     debug_assert_eq!(b.len(), nr * k);
     debug_assert_eq!(out.len(), m * nr);
     debug_assert!(k <= 1 << 16, "i32 accumulator bound: k = {k} > 65536");
+    GEMM_I8_CALLS.add(1);
     if dot_route(k, nr) {
         dots_nt_i8(k, nr, a, b, out);
     } else {

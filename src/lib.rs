@@ -15,6 +15,7 @@
 //! | [`sim`] | the 3-layer HEC testbed simulator (devices, links, runtime) |
 //! | [`bandit`] | policy network, REINFORCE + reinforcement comparison, ε-greedy, LinUCB |
 //! | [`core`] | the five schemes, the experiment pipeline, tables, ablations |
+//! | [`telemetry`] | deterministic metrics registry, span tracing, alloc tracking |
 //!
 //! # Quickstart
 //!
@@ -39,4 +40,5 @@ pub use hec_core as core;
 pub use hec_data as data;
 pub use hec_nn as nn;
 pub use hec_sim as sim;
+pub use hec_telemetry as telemetry;
 pub use hec_tensor as tensor;
