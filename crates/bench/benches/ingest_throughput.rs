@@ -1,0 +1,83 @@
+//! Criterion bench: chunked parallel ingestion throughput (feature
+//! `real-data`). An amplified in-memory power-CSV stream — the
+//! checked-in fixture's data lines replicated to a few MB — is parsed by
+//! the serial reader and by the chunked path at 1/2/4 workers. Reported
+//! wall times divide into GB/s (bytes / time) and windows/s
+//! (`bytes / bytes_per_window / time`); EXPERIMENTS.md records both.
+//! On a multi-core host the chunked rows separate by thread count; on a
+//! single-core host they collapse and the delta to `serial` is the
+//! chunking + stitching overhead, which this bench pins as small.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::Cursor;
+
+use hec_core::parallel::with_thread_count;
+use hec_data::ingest::{MissingValuePolicy, PowerCsvSource};
+
+/// Day length of the power fixture (readings per day).
+const SPD: usize = 24;
+/// Data-line replication factor: ~17 KB of fixture → a few MB of input.
+const AMPLIFY: usize = 200;
+
+/// The power fixture's bytes with its data lines replicated `AMPLIFY`×
+/// (header and comments once, at the top — mid-file headers would be
+/// data errors, same as in any real concatenated trace).
+fn amplified_bytes() -> Vec<u8> {
+    let path = format!("{}/../../fixtures/power_good.csv", env!("CARGO_MANIFEST_DIR"));
+    let raw = std::fs::read(path).expect("power fixture present");
+    let mut pos = 0usize;
+    let tail_start = loop {
+        if pos >= raw.len() {
+            break raw.len();
+        }
+        let eol =
+            raw[pos..].iter().position(|&b| b == b'\n').map(|i| pos + i + 1).unwrap_or(raw.len());
+        let trimmed: &[u8] = {
+            let mut l = &raw[pos..eol];
+            while let [rest @ .., b'\n' | b'\r' | b' ' | b'\t'] = l {
+                l = rest;
+            }
+            l
+        };
+        if trimmed.is_empty() || trimmed.starts_with(b"#") {
+            pos = eol;
+            continue;
+        }
+        break eol; // end of the header line
+    };
+    let tail = raw[tail_start..].to_vec();
+    let mut big = raw;
+    for _ in 1..AMPLIFY {
+        big.extend_from_slice(&tail);
+    }
+    big
+}
+
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let bytes = amplified_bytes();
+    let mb = bytes.len() as f64 / 1e6;
+    let source = PowerCsvSource::new("amplified.csv", SPD, MissingValuePolicy::Reject);
+    let windows = source.parse(Cursor::new(&bytes[..])).expect("clean input").len();
+
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.sample_size(10);
+
+    group.bench_function(&format!("{mb:.1}MB_{windows}w_serial"), |b| {
+        b.iter(|| black_box(source.parse(Cursor::new(black_box(&bytes[..])))).unwrap())
+    });
+    for threads in [1usize, 2, 4] {
+        let chunk = bytes.len().div_ceil(threads).max(64 * 1024);
+        group.bench_function(&format!("{mb:.1}MB_{windows}w_chunked_threads{threads}"), |b| {
+            b.iter(|| {
+                with_thread_count(threads, || {
+                    black_box(source.parse_chunked(black_box(&bytes[..]), chunk)).unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_throughput);
+criterion_main!(benches);

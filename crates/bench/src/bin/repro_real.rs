@@ -1,30 +1,46 @@
 //! Runs the paper's full protocol on **real (file-backed) traces**: the
 //! checked-in CSV power-demand and NDJSON MHEALTH fixtures stream through
-//! ingestion → standardisation → `paper_split` → detector training →
-//! policy training → Table-I/II-style evaluation → the closed-loop fleet
-//! simulator (the trace's windows replayed as a probe cohort inside the
-//! `light_load` background fleet).
+//! chunked parallel ingestion → standardisation → `paper_split` →
+//! detector training → policy training → Table-I/II-style evaluation →
+//! the closed-loop fleet simulator (the trace's windows replayed as a
+//! probe cohort inside the `light_load` background fleet).
 //!
 //! Requires the `real-data` feature:
 //!
 //! ```text
-//! cargo run --release -p hec-bench --features real-data --bin repro_real -- [fixtures_dir]
+//! cargo run --release -p hec-bench --features real-data --bin repro_real -- \
+//!     [fixtures_dir] [--telemetry <dir>] [--amplify <n>] \
+//!     [--ingest-threads <n>] [--shards <n>] [--out <dir>]
 //! ```
 //!
-//! Everything on stdout is deterministic — same fixtures ⇒ byte-identical
-//! output across reruns and `HEC_THREADS` settings (the CI real-data job
-//! enforces this with a diff). The adversarial fixtures demonstrate the
-//! loader's failure mode: line-numbered errors, never panics.
+//! With `--amplify N` the power fixture is additionally stretched into an
+//! engine-scale stream: the raw CSV bytes are replicated N× and pushed
+//! through the chunked parser (ingestion GB/s), and the corpus is
+//! amplified N× with deterministic perturbation
+//! ([`hec_data::amplify_corpus`]) and replayed through the **sharded**
+//! fleet engine under every scheme
+//! ([`hec_core::replay::replay_trace_sharded`]), with per-scheme results
+//! on stdout and a `replay.csv` in `--out`.
+//!
+//! Everything on stdout (and in `replay.csv`) is deterministic — same
+//! fixtures and flags ⇒ byte-identical output across reruns,
+//! `HEC_THREADS` and `--ingest-threads` settings (the CI real-data job
+//! enforces this with a diff matrix). Wall-clock timings go to stderr
+//! and `BENCH_repro_real.json` only. The adversarial fixtures
+//! demonstrate the loader's failure mode: line-numbered errors, never
+//! panics — identical through the chunked path.
 
-use hec_bandit::{RewardModel, TrainConfig};
-use hec_core::stream::stream_through_fleet;
+use hec_bandit::{ContextScaler, PolicyNetwork, RewardModel, TrainConfig};
+use hec_core::parallel::{thread_count, with_thread_count};
+use hec_core::replay::{replay_scenario, replay_trace_sharded};
+use hec_core::stream::{fleet_stream_csv, stream_through_fleet};
 use hec_core::{
     format_table1, format_table2, DatasetConfig, Experiment, ExperimentConfig, SchemeKind,
 };
 use hec_data::ingest::{MhealthNdjsonSource, MissingValuePolicy, PowerCsvSource};
 use hec_data::mhealth::MhealthConfig;
 use hec_data::power::PowerConfig;
-use hec_data::{DatasetSource, LabeledCorpus};
+use hec_data::{amplify_corpus, DatasetSource, LabeledCorpus, PerturbConfig};
 use hec_sim::fleet::{FleetScale, FleetScenario};
 
 /// Counting global allocator, so `AllocPhase` deltas recorded by the
@@ -39,28 +55,73 @@ const POWER_SPD: usize = 24;
 const MHEALTH_WINDOW: usize = 16;
 const MHEALTH_STRIDE: usize = 8;
 
-/// Parsed command line: the fixtures directory and the telemetry dump
-/// directory.
-fn parse_args() -> (String, Option<String>) {
+/// Parsed command line.
+struct Args {
+    fixtures: String,
+    telemetry_dir: Option<String>,
+    /// Amplification factor for the sharded replay; 0 disables it.
+    amplify: usize,
+    /// Worker count for chunked ingestion; 0 inherits `HEC_THREADS`.
+    ingest_threads: usize,
+    /// Shard count for the replay fleet.
+    shards: usize,
+    /// Directory for `replay.csv` (amplified runs only).
+    out_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fixtures: String::new(),
+        telemetry_dir: None,
+        amplify: 0,
+        ingest_threads: 0,
+        shards: 4,
+        out_dir: None,
+    };
     let mut fixtures: Option<String> = None;
-    let mut telemetry_dir: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1);
     let usage_exit = || -> ! {
-        eprintln!("usage: repro_real [fixtures_dir] [--telemetry <dir>]");
+        eprintln!(
+            "usage: repro_real [fixtures_dir] [--telemetry <dir>] [--amplify <n>] \
+             [--ingest-threads <n>] [--shards <n>] [--out <dir>]"
+        );
         std::process::exit(2);
     };
-    while let Some(arg) = args.next() {
-        if arg == "--telemetry" {
-            telemetry_dir = Some(args.next().unwrap_or_else(|| usage_exit()));
-        } else if arg.starts_with('-') || fixtures.is_some() {
-            usage_exit();
-        } else {
-            fixtures = Some(arg);
+    let next_value = |argv: &mut dyn Iterator<Item = String>| -> String {
+        argv.next().unwrap_or_else(|| usage_exit())
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--telemetry" => args.telemetry_dir = Some(next_value(&mut argv)),
+            "--out" => args.out_dir = Some(next_value(&mut argv)),
+            "--amplify" => {
+                args.amplify = next_value(&mut argv).parse().unwrap_or_else(|_| usage_exit())
+            }
+            "--ingest-threads" => {
+                args.ingest_threads = next_value(&mut argv).parse().unwrap_or_else(|_| usage_exit())
+            }
+            "--shards" => {
+                args.shards = next_value(&mut argv).parse().unwrap_or_else(|_| usage_exit());
+                if args.shards == 0 {
+                    usage_exit();
+                }
+            }
+            _ if arg.starts_with('-') || fixtures.is_some() => usage_exit(),
+            _ => fixtures = Some(arg),
         }
     }
-    let fixtures =
+    args.fixtures =
         fixtures.unwrap_or_else(|| format!("{}/../../fixtures", env!("CARGO_MANIFEST_DIR")));
-    (fixtures, telemetry_dir)
+    args
+}
+
+/// Runs `f` under the requested ingest worker count (0 = inherit).
+fn with_ingest_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    if threads == 0 {
+        f()
+    } else {
+        with_thread_count(threads, f)
+    }
 }
 
 fn describe(corpus: &LabeledCorpus) -> String {
@@ -86,8 +147,13 @@ fn probe_scenario(kind: hec_sim::DatasetKind, payload_bytes: usize) -> (FleetSce
     (sc, probe)
 }
 
-/// Full protocol over one loaded corpus.
-fn run_pipeline(label: &str, config: ExperimentConfig, corpus: LabeledCorpus) {
+/// Full protocol over one loaded corpus. Returns the trained experiment,
+/// policy and scaler so the amplified replay can reuse them.
+fn run_pipeline(
+    label: &str,
+    config: ExperimentConfig,
+    corpus: LabeledCorpus,
+) -> (Experiment, PolicyNetwork, ContextScaler) {
     println!("--- {label} ---");
     println!("corpus: {}", describe(&corpus));
 
@@ -153,10 +219,13 @@ fn run_pipeline(label: &str, config: ExperimentConfig, corpus: LabeledCorpus) {
         );
     }
     println!();
+    (exp, policy, scaler)
 }
 
 /// Demonstrates the loader's failure mode on an adversarial trace: a
-/// line-numbered error under each missing-value policy, never a panic.
+/// line-numbered error under each missing-value policy, never a panic —
+/// through the chunked parallel path, which matches serial byte for
+/// byte.
 fn show_errors(label: &str, load: impl Fn(MissingValuePolicy) -> Option<hec_data::IngestError>) {
     for policy in [MissingValuePolicy::Reject, MissingValuePolicy::ImputePrevious] {
         match load(policy) {
@@ -166,22 +235,66 @@ fn show_errors(label: &str, load: impl Fn(MissingValuePolicy) -> Option<hec_data
     }
 }
 
+/// Replicates the power CSV's data lines `factor`× after the original
+/// bytes (comments and the header line appear once, at the top, where
+/// the parsers expect them) — an amplified byte stream for measuring
+/// parse throughput on real-format input.
+fn amplified_power_bytes(raw: &[u8], factor: usize) -> Vec<u8> {
+    // Find the end of the first real record (the header line): data
+    // replicas must not repeat it.
+    let mut pos = 0usize;
+    let tail_start = loop {
+        if pos >= raw.len() {
+            break raw.len();
+        }
+        let eol =
+            raw[pos..].iter().position(|&b| b == b'\n').map(|i| pos + i + 1).unwrap_or(raw.len());
+        let line = &raw[pos..eol];
+        let trimmed: &[u8] = {
+            let mut l = line;
+            while let [rest @ .., b'\n' | b'\r' | b' ' | b'\t'] = l {
+                l = rest;
+            }
+            l
+        };
+        if trimmed.is_empty() || trimmed.starts_with(b"#") {
+            pos = eol;
+            continue;
+        }
+        break eol;
+    };
+    let tail = &raw[tail_start..];
+    let mut big = Vec::with_capacity(raw.len() + tail.len() * factor.saturating_sub(1));
+    big.extend_from_slice(raw);
+    for _ in 1..factor {
+        big.extend_from_slice(tail);
+        if !big.ends_with(b"\n") {
+            big.push(b'\n');
+        }
+    }
+    big
+}
+
 fn main() {
-    let (dir, telemetry_dir) = parse_args();
-    hec_bench::telemetry::init("repro_real", telemetry_dir.as_deref());
+    let args = parse_args();
+    let dir = &args.fixtures;
+    hec_bench::telemetry::init("repro_real", args.telemetry_dir.as_deref());
     let mut bench_metrics: Vec<(String, f64)> = Vec::new();
     println!("== repro_real (fixture traces through the full paper protocol) ==\n");
 
-    // --- univariate: power-demand CSV ---
+    // --- univariate: power-demand CSV (chunked parallel ingestion) ---
     let power_source =
         PowerCsvSource::new(format!("{dir}/power_good.csv"), POWER_SPD, MissingValuePolicy::Reject);
-    let corpus = match power_source.load() {
+    let t0 = std::time::Instant::now();
+    let corpus = match with_ingest_threads(args.ingest_threads, || power_source.load_chunked()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("failed to load power_good.csv: {e}");
             std::process::exit(1);
         }
     };
+    eprintln!("[timing] power ingest (chunked): {:.4} s", t0.elapsed().as_secs_f64());
+    let power_corpus = corpus.clone();
     let days = corpus.len();
     let config = ExperimentConfig {
         dataset: DatasetConfig::Univariate(PowerConfig {
@@ -199,26 +312,29 @@ fn main() {
     };
     let n_windows = corpus.len();
     let t0 = std::time::Instant::now();
-    run_pipeline(&power_source.name(), config, corpus);
+    let (mut power_exp, mut power_policy, power_scaler) =
+        run_pipeline(&power_source.name(), config, corpus);
     let wall = t0.elapsed().as_secs_f64();
     eprintln!("[timing] power pipeline: {wall:.2} s");
     bench_metrics.push(("power.pipeline_s".into(), wall));
     bench_metrics.push(("power.windows_per_s".into(), n_windows as f64 / wall));
 
-    // --- multivariate: MHEALTH NDJSON ---
+    // --- multivariate: MHEALTH NDJSON (chunked parallel ingestion) ---
     let mhealth_source = MhealthNdjsonSource::new(
         format!("{dir}/mhealth_good.ndjson"),
         MHEALTH_WINDOW,
         MHEALTH_STRIDE,
         MissingValuePolicy::Reject,
     );
-    let corpus = match mhealth_source.load() {
+    let t0 = std::time::Instant::now();
+    let corpus = match with_ingest_threads(args.ingest_threads, || mhealth_source.load_chunked()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("failed to load mhealth_good.ndjson: {e}");
             std::process::exit(1);
         }
     };
+    eprintln!("[timing] mhealth ingest (chunked): {:.4} s", t0.elapsed().as_secs_f64());
     let config = ExperimentConfig {
         dataset: DatasetConfig::Multivariate(MhealthConfig {
             subjects: 2,
@@ -246,7 +362,7 @@ fn main() {
     // --- adversarial traces: line-numbered errors, not panics ---
     println!("--- adversarial traces ---");
     show_errors("power_bad.csv", |policy| {
-        PowerCsvSource::new(format!("{dir}/power_bad.csv"), POWER_SPD, policy).load().err()
+        PowerCsvSource::new(format!("{dir}/power_bad.csv"), POWER_SPD, policy).load_chunked().err()
     });
     show_errors("mhealth_bad.ndjson", |policy| {
         MhealthNdjsonSource::new(
@@ -255,12 +371,111 @@ fn main() {
             MHEALTH_STRIDE,
             policy,
         )
-        .load()
+        .load_chunked()
         .err()
     });
+
+    // --- amplified sharded replay: the power trace at engine scale ---
+    if args.amplify > 0 {
+        println!("\n--- sharded trace replay (power fixture, amplify x{}) ---", args.amplify);
+
+        // Ingestion throughput: the raw CSV's data lines replicated
+        // amplify× through the chunked parser — real-format bytes at
+        // engine volume.
+        let raw = std::fs::read(format!("{dir}/power_good.csv")).expect("fixture just loaded");
+        let big = amplified_power_bytes(&raw, args.amplify);
+        let threads = if args.ingest_threads == 0 { thread_count() } else { args.ingest_threads };
+        let chunk = big.len().div_ceil(threads).max(64 * 1024);
+        let t0 = std::time::Instant::now();
+        let parsed =
+            with_ingest_threads(args.ingest_threads, || power_source.parse_chunked(&big, chunk))
+                .expect("amplified bytes replicate a clean fixture");
+        let ingest_wall = t0.elapsed().as_secs_f64();
+        let gb_per_s = big.len() as f64 / ingest_wall / 1e9;
+        println!("ingest: {} bytes -> {} windows (chunked)", big.len(), parsed.len());
+        eprintln!(
+            "[timing] amplified ingest: {ingest_wall:.3} s ({gb_per_s:.3} GB/s, {:.0} windows/s, \
+             {} chunk(s))",
+            parsed.len() as f64 / ingest_wall,
+            big.len().div_ceil(chunk)
+        );
+        bench_metrics.push(("ingest.amplified_bytes".into(), big.len() as f64));
+        bench_metrics.push(("ingest.gb_per_s".into(), gb_per_s));
+        bench_metrics.push(("ingest.windows_per_s".into(), parsed.len() as f64 / ingest_wall));
+
+        // Replay corpus: the loaded corpus amplified with deterministic
+        // perturbation (repetition 0 verbatim), scored by the trained
+        // detectors, streamed through the sharded fleet per scheme.
+        let amplified = amplify_corpus(&power_corpus, args.amplify, &PerturbConfig::default());
+        let replay_windows = power_exp.standardize_windows(&amplified.windows);
+        let t0 = std::time::Instant::now();
+        let oracle = power_exp.oracle_over(&replay_windows);
+        eprintln!("[timing] oracle over amplified corpus: {:.2} s", t0.elapsed().as_secs_f64());
+        let kind = power_exp.config().dataset.kind();
+        let payload = power_exp.config().payload_bytes();
+        let sc = replay_scenario(kind, payload, amplified.len() as u64);
+        let reward = RewardModel::new(kind.paper_alpha());
+        println!(
+            "replay fleet: {} windows over {} devices x {} windows/device, {} shard(s)",
+            sc.total_windows(),
+            sc.total_devices(),
+            sc.cohorts[0].windows_per_device,
+            args.shards
+        );
+        let mut results = Vec::new();
+        let mut replay_wall = 0.0f64;
+        for scheme in SchemeKind::ALL {
+            let t0 = std::time::Instant::now();
+            let r = match scheme {
+                SchemeKind::Adaptive => replay_trace_sharded(
+                    &sc,
+                    &oracle,
+                    scheme,
+                    Some(&mut power_policy),
+                    Some(&power_scaler),
+                    &reward,
+                    args.shards,
+                ),
+                _ => replay_trace_sharded(&sc, &oracle, scheme, None, None, &reward, args.shards),
+            };
+            let wall = t0.elapsed().as_secs_f64();
+            replay_wall += wall;
+            eprintln!(
+                "[timing] replay {scheme}: {wall:.2} s ({:.0} windows/s)",
+                r.fleet.emitted as f64 / wall
+            );
+            bench_metrics.push((format!("replay.{scheme}.windows_per_s"), {
+                r.fleet.emitted as f64 / wall
+            }));
+            println!(
+                "  {:<11} acc={:.4} f1={:.4} reward={:<8.2} mean={:.2} ms p99={:.2} ms \
+                 served={} missed={}",
+                scheme.to_string(),
+                r.accuracy(),
+                r.f1(),
+                r.mean_reward_x100,
+                r.routed_mean_ms,
+                r.routed_p99_ms,
+                r.confusion.total(),
+                r.missed
+            );
+            results.push(r);
+        }
+        bench_metrics.push(("replay.windows".into(), sc.total_windows() as f64));
+        bench_metrics.push((
+            "replay.windows_per_s".into(),
+            (sc.total_windows() as f64 * SchemeKind::ALL.len() as f64) / replay_wall,
+        ));
+        if let Some(out) = &args.out_dir {
+            std::fs::create_dir_all(out).expect("create --out dir");
+            let path = format!("{out}/replay.csv");
+            std::fs::write(&path, fleet_stream_csv(&results)).expect("write replay.csv");
+            eprintln!("[out] wrote {path}");
+        }
+    }
 
     let metric_refs: Vec<(&str, f64)> =
         bench_metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     hec_bench::telemetry::write_bench_json("repro_real", &metric_refs);
-    hec_bench::telemetry::dump("repro_real", telemetry_dir.as_deref());
+    hec_bench::telemetry::dump("repro_real", args.telemetry_dir.as_deref());
 }

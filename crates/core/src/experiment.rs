@@ -124,6 +124,11 @@ pub struct Experiment {
     topology: HecTopology,
     /// The standardised, split corpora.
     pub split: PaperSplit,
+    /// The per-channel scaling fitted on the corpus' normal windows —
+    /// kept so externally supplied windows (e.g. an amplified replay
+    /// trace) can be brought into the same space the detectors were
+    /// trained in.
+    standardizer: Standardizer,
     catalog: ModelCatalog,
     thresholds: [f32; 3],
 }
@@ -197,7 +202,18 @@ impl Experiment {
             }
         };
 
-        Self { config, topology, split, catalog, thresholds: [0.0; 3] }
+        Self { config, topology, split, standardizer, catalog, thresholds: [0.0; 3] }
+    }
+
+    /// Standardises externally supplied raw windows with the same
+    /// per-channel statistics the experiment's corpus was standardised
+    /// with — the bridge from an amplified ingestion-side corpus to the
+    /// space the detectors and the oracle operate in.
+    pub fn standardize_windows(&self, windows: &[LabeledWindow]) -> Vec<LabeledWindow> {
+        windows
+            .iter()
+            .map(|w| LabeledWindow::new(self.standardizer.transform(&w.data), w.anomalous))
+            .collect()
     }
 
     /// The calibrated testbed topology.

@@ -39,11 +39,16 @@ pub mod ablation;
 pub mod experiment;
 pub mod fleet_train;
 pub mod oracle;
-pub mod parallel;
+pub mod replay;
 pub mod report;
 pub mod scheme;
 pub mod sharded;
 pub mod stream;
+
+/// Scoped-thread parallelism helpers, hosted by `hec-tensor` so the data
+/// layer can reach the same substrate without a dependency cycle;
+/// re-exported here so `hec_core::parallel::*` call sites keep working.
+pub use hec_tensor::parallel;
 
 pub use experiment::{
     static_delay_table, DatasetConfig, Experiment, ExperimentConfig, ExperimentReport,

@@ -1,0 +1,282 @@
+//! Sharded trace replay: an (amplified) real-trace corpus streamed
+//! through the **sharded** fleet engine at engine rate.
+//!
+//! [`crate::stream::stream_through_fleet`] replays a corpus through a
+//! one-shard engine so stateful (`FnMut`) routers stay legal — the right
+//! tool for the closed-loop probe-cohort evaluation, and a single-engine
+//! bottleneck at a million windows. This module is the scale tier: the
+//! replay cohort's devices are partitioned into the [`ShardPlan`]'s
+//! contiguous slices (device id → shard, the PR-6 scheme), every shard
+//! advances in parallel on the `HEC_THREADS` workers, and the scheme
+//! routes each window through a precomputed
+//! [`scheme_action_table`] — a stateless `Fn + Sync` lookup, which is
+//! exactly what the parallel driver requires. Outcomes merge in the
+//! deterministic `(time, shard-id)` order, so the replayed
+//! [`FleetStreamResult`] is byte-identical across reruns, shard counts
+//! and thread counts.
+//!
+//! Scheme-routed windows map to oracle windows round-robin in emission
+//! order (`seq % corpus len`) — the same mapping
+//! `stream_through_fleet` uses without a probe cohort, so a one-shard
+//! replay reproduces its results exactly (asserted in tests).
+
+use hec_bandit::{ContextScaler, PolicyNetwork, RewardModel};
+use hec_data::BinaryConfusion;
+use hec_sim::fleet::{
+    CohortSpec, DropReason, FleetScale, FleetScenario, JobEvent, LatencyHist, RouteCtx, RoutePlan,
+    ShardPlan,
+};
+use hec_sim::DatasetKind;
+
+use crate::oracle::Oracle;
+use crate::scheme::SchemeKind;
+use crate::sharded::run_plan;
+use crate::stream::{scheme_action_table, DropBreakdown, FleetStreamResult};
+
+/// Windows each replay device emits: the corpus spreads over
+/// `n / 10` devices, so a million-window trace exercises a
+/// hundred-thousand-device fleet.
+pub const WINDOWS_PER_DEVICE: u32 = 10;
+
+/// Builds the replay fleet for an `n_windows` trace: one cohort of
+/// `ceil(n / WINDOWS_PER_DEVICE)` devices, each emitting
+/// `WINDOWS_PER_DEVICE` windows a minute apart, on the `light_load`
+/// queue/link parameters with the dataset's payload. Device ids are
+/// contiguous, so [`ShardPlan::new`] splits the cohort into per-shard
+/// device slices. When `WINDOWS_PER_DEVICE` does not divide `n_windows`
+/// the fleet emits up to one device's extra windows; the oracle mapping
+/// wraps round-robin, keeping every emitted window scored.
+///
+/// # Panics
+///
+/// Panics if `n_windows == 0`.
+pub fn replay_scenario(kind: DatasetKind, payload_bytes: usize, n_windows: u64) -> FleetScenario {
+    assert!(n_windows > 0, "cannot replay an empty trace");
+    let mut sc = FleetScenario::light_load(FleetScale::Quick);
+    sc.name = "trace_replay".into();
+    sc.kind = kind;
+    sc.payload_bytes = payload_bytes;
+    let devices = n_windows.div_ceil(WINDOWS_PER_DEVICE as u64).min(u32::MAX as u64) as u32;
+    let windows_per_device = n_windows.div_ceil(devices as u64) as u32;
+    sc.cohorts =
+        vec![CohortSpec::uniform(devices, windows_per_device, 60_000.0, 0.0, RoutePlan::Fixed(0))];
+    sc
+}
+
+/// Streams the oracle corpus through the sharded fleet under a scheme:
+/// every emitted window maps to an oracle window (round-robin in
+/// emission order), the precomputed action table chooses its layer, the
+/// sharded engine charges the load-dependent delay, and the serving
+/// layer's frozen verdict is scored against ground truth — the same
+/// accounting as [`crate::stream::stream_through_fleet`], at shard
+/// scale.
+///
+/// `policy`/`scaler` are required only for [`SchemeKind::Adaptive`],
+/// which must be a **static** policy (see [`scheme_action_table`]).
+///
+/// Deterministic: same inputs ⇒ an identical [`FleetStreamResult`],
+/// regardless of `HEC_THREADS` or rerun. The shard count is part of the
+/// simulated physics (each shard owns a `1/shards` slice of the queue
+/// and link capacity), so different `shards` values model different —
+/// individually deterministic — fleets.
+///
+/// # Panics
+///
+/// Panics if the oracle is empty, `shards == 0`, or the
+/// policy/scaler requirements above are violated.
+pub fn replay_trace_sharded(
+    scenario: &FleetScenario,
+    oracle: &Oracle,
+    kind: SchemeKind,
+    policy: Option<&mut PolicyNetwork>,
+    scaler: Option<&ContextScaler>,
+    reward: &RewardModel,
+    shards: usize,
+) -> FleetStreamResult {
+    assert!(!oracle.is_empty(), "cannot replay an empty oracle corpus");
+    let _span = hec_telemetry::WallSpan::new("core.replay");
+    let n = oracle.len() as u64;
+    let actions = scheme_action_table(scenario, oracle, kind, policy, scaler);
+    let plan = ShardPlan::new(scenario, shards);
+
+    let mut confusion = BinaryConfusion::new();
+    let mut missed = 0u64;
+    let mut reward_sum = 0.0f64;
+    let mut routed = 0u64;
+    let mut routed_latency = LatencyHist::new();
+    let mut drop_counts = vec![[0u64; 2]; scenario.topology().num_layers()];
+
+    let router = |ctx: &RouteCtx| actions[(ctx.seq % n) as usize];
+    let run = run_plan(&plan, &router, &mut |ev| match *ev {
+        JobEvent::Served { seq, layer, latency_ms, .. } => {
+            let i = (seq % n) as usize;
+            confusion.record(oracle.verdict(i, layer), oracle.outcomes[i].truth);
+            reward_sum += reward.reward_outcome(oracle.correct(i, layer), Some(latency_ms));
+            routed_latency.record(latency_ms);
+            routed += 1;
+        }
+        JobEvent::Dropped { layer, reason, .. } => {
+            let cause = match reason {
+                DropReason::QueueFull => 0,
+                DropReason::LinkSaturated => 1,
+            };
+            drop_counts[layer][cause] += 1;
+            missed += 1;
+            reward_sum += reward.reward_dropped();
+            routed += 1;
+        }
+    });
+
+    let fleet = run.report;
+    let drops: Vec<DropBreakdown> = drop_counts
+        .iter()
+        .enumerate()
+        .map(|(layer, c)| DropBreakdown { layer, queue: c[0], link: c[1] })
+        .collect();
+    let total_drops: u64 = drops.iter().map(|d| d.queue + d.link).sum();
+    debug_assert_eq!(total_drops, fleet.dropped, "drop breakdown diverged from the fleet report");
+    debug_assert_eq!(fleet.served + fleet.dropped, fleet.emitted, "window conservation violated");
+    if hec_telemetry::ENABLED {
+        let scheme = kind.to_string();
+        hec_telemetry::counter_add("replay.windows", &[("scheme", &scheme)], fleet.emitted);
+        hec_telemetry::counter_add("replay.missed", &[("scheme", &scheme)], missed);
+    }
+    let mean_reward_x100 = 100.0 * reward_sum / routed.max(1) as f64;
+    FleetStreamResult {
+        scheme: kind,
+        fleet,
+        confusion,
+        missed,
+        drops,
+        mean_reward_x100,
+        routed_mean_ms: routed_latency.mean(),
+        routed_p99_ms: routed_latency.quantile(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::WindowOutcome;
+    use crate::parallel::with_thread_count;
+    use crate::stream::stream_through_fleet;
+    use hec_anomaly::ConfidenceRule;
+
+    fn oracle(n: usize) -> Oracle {
+        let outcomes = (0..n)
+            .map(|i| {
+                let truth = i % 3 == 0;
+                WindowOutcome {
+                    truth,
+                    min_log_pd: [-5.0, -5.0, if truth { -60.0 } else { -1.0 }],
+                    anomalous_fraction: [
+                        0.0,
+                        if truth && i % 2 == 0 { 0.4 } else { 0.0 },
+                        if truth { 0.4 } else { 0.0 },
+                    ],
+                    context: vec![i as f32],
+                }
+            })
+            .collect();
+        Oracle {
+            outcomes,
+            thresholds: [-10.0; 3],
+            flag_fraction: 0.0,
+            confidence: ConfidenceRule::default(),
+        }
+    }
+
+    fn rm() -> RewardModel {
+        RewardModel::new(0.0005)
+    }
+
+    #[test]
+    fn replay_scenario_covers_the_trace() {
+        let sc = replay_scenario(DatasetKind::Univariate, 384, 1_000_000);
+        assert_eq!(sc.total_devices(), 100_000);
+        assert_eq!(sc.total_windows(), 1_000_000);
+        // Non-divisible traces round up, never down.
+        let sc = replay_scenario(DatasetKind::Univariate, 384, 95);
+        assert!(sc.total_windows() >= 95);
+        // A tiny trace still has at least one device.
+        let sc = replay_scenario(DatasetKind::Univariate, 384, 3);
+        assert_eq!(sc.total_devices(), 1);
+        assert!(sc.total_windows() >= 3);
+    }
+
+    /// At a fixed shard count the replay is byte-identical across
+    /// reruns and thread counts. (Different shard counts model
+    /// different fleets — each shard owns a capacity slice — so only
+    /// conservation is asserted across them.)
+    #[test]
+    fn replay_is_rerun_and_thread_invariant() {
+        let o = oracle(120);
+        let sc = replay_scenario(DatasetKind::Univariate, 384, o.len() as u64);
+        for shards in [1, 2, 4] {
+            let base = with_thread_count(1, || {
+                replay_trace_sharded(&sc, &o, SchemeKind::Successive, None, None, &rm(), shards)
+            });
+            for threads in [1, 2, 4] {
+                let run = with_thread_count(threads, || {
+                    replay_trace_sharded(&sc, &o, SchemeKind::Successive, None, None, &rm(), shards)
+                });
+                assert_eq!(base, run, "shards={shards} threads={threads}");
+            }
+            assert_eq!(base.fleet.served + base.fleet.dropped, base.fleet.emitted);
+        }
+    }
+
+    /// A one-shard replay must reproduce `stream_through_fleet` on the
+    /// same scenario exactly — the two drivers share the action table
+    /// and the oracle mapping, so any divergence is a bug.
+    #[test]
+    fn one_shard_replay_matches_the_streaming_driver() {
+        let o = oracle(60);
+        let sc = replay_scenario(DatasetKind::Univariate, 384, o.len() as u64);
+        for kind in [SchemeKind::IoTDevice, SchemeKind::Cloud, SchemeKind::Successive] {
+            let replayed = replay_trace_sharded(&sc, &o, kind, None, None, &rm(), 1);
+            let streamed = stream_through_fleet(&sc, &o, kind, None, None, &rm(), None);
+            assert_eq!(replayed, streamed, "{kind}");
+        }
+    }
+
+    #[test]
+    fn replay_routes_static_adaptive_policies() {
+        let o = oracle(90);
+        let scaler = hec_bandit::ContextScaler::fit(&o.contexts());
+        let mut policy = PolicyNetwork::new(scaler.dim(), 8, 3, 0);
+        let sc = replay_scenario(DatasetKind::Univariate, 384, o.len() as u64);
+        let a = replay_trace_sharded(
+            &sc,
+            &o,
+            SchemeKind::Adaptive,
+            Some(&mut policy),
+            Some(&scaler),
+            &rm(),
+            3,
+        );
+        let b = replay_trace_sharded(
+            &sc,
+            &o,
+            SchemeKind::Adaptive,
+            Some(&mut policy),
+            Some(&scaler),
+            &rm(),
+            3,
+        );
+        assert_eq!(a, b, "adaptive replay must be deterministic");
+        assert_eq!(a.fleet.served + a.fleet.dropped, a.fleet.emitted);
+    }
+
+    #[test]
+    fn replay_scores_every_emitted_window() {
+        let o = oracle(95); // not divisible by WINDOWS_PER_DEVICE
+        let sc = replay_scenario(DatasetKind::Univariate, 384, o.len() as u64);
+        let r = replay_trace_sharded(&sc, &o, SchemeKind::Cloud, None, None, &rm(), 2);
+        assert_eq!(
+            r.confusion.total() as u64 + r.missed,
+            r.fleet.emitted,
+            "wrap-around windows must still be scored"
+        );
+    }
+}

@@ -246,6 +246,65 @@ impl ProbeMap {
     }
 }
 
+/// Precomputes the per-oracle-window routing table for a scheme — the
+/// stateless (`Fn + Sync`-able) half of scheme routing, shared by
+/// [`stream_through_fleet`]'s table mode and the sharded
+/// [`crate::replay`] driver, so the two can never diverge on what a
+/// scheme does.
+///
+/// `policy`/`scaler` are required for [`SchemeKind::Adaptive`] and the
+/// policy must be **static** (`input_dim == scaler.dim()`): a load-aware
+/// policy's action depends on live queue state and has no precomputable
+/// table — route it through [`stream_through_fleet`].
+///
+/// # Panics
+///
+/// Panics if `Adaptive` is requested without a policy and scaler, or
+/// with a policy whose input dimension is not the scaler's.
+pub fn scheme_action_table(
+    scenario: &FleetScenario,
+    oracle: &Oracle,
+    kind: SchemeKind,
+    policy: Option<&mut PolicyNetwork>,
+    scaler: Option<&ContextScaler>,
+) -> Vec<usize> {
+    let n = oracle.len();
+    match kind {
+        SchemeKind::IoTDevice => vec![0; n],
+        SchemeKind::Edge => vec![1; n],
+        SchemeKind::Cloud => vec![2; n],
+        SchemeKind::Successive => {
+            let top = scenario.topology().num_layers() - 1;
+            (0..n)
+                .map(|i| {
+                    let mut layer = 0usize;
+                    while layer < top && !oracle.confident(i, layer) {
+                        layer += 1;
+                    }
+                    layer
+                })
+                .collect()
+        }
+        SchemeKind::Adaptive => {
+            let p = policy.expect("Adaptive needs a trained policy");
+            let s = scaler.expect("Adaptive needs a context scaler");
+            if p.input_dim() != s.dim() {
+                let norm = scenario_load_normalizer(scenario);
+                panic!(
+                    "Adaptive policy input dim {} matches neither the base context ({}) nor \
+                     base + load features ({})",
+                    p.input_dim(),
+                    s.dim(),
+                    s.dim() + norm.dims()
+                );
+            }
+            let scaled: Vec<Vec<f32>> =
+                oracle.outcomes.iter().map(|o| s.transform(&o.context)).collect();
+            p.greedy_batch(&scaled)
+        }
+    }
+}
+
 /// How the scheme picks each emitted window's layer.
 enum FleetRouterMode<'p> {
     /// Per-oracle-window precomputed actions: a table lookup on the hot
@@ -335,45 +394,24 @@ pub fn stream_through_fleet(
         );
     }
     let n = oracle.len();
-    let mut mode: FleetRouterMode<'_> = match kind {
-        SchemeKind::IoTDevice => FleetRouterMode::Table(vec![0; n]),
-        SchemeKind::Edge => FleetRouterMode::Table(vec![1; n]),
-        SchemeKind::Cloud => FleetRouterMode::Table(vec![2; n]),
-        SchemeKind::Successive => {
-            let top = scenario.topology().num_layers() - 1;
-            FleetRouterMode::Table(
-                (0..n)
-                    .map(|i| {
-                        let mut layer = 0usize;
-                        while layer < top && !oracle.confident(i, layer) {
-                            layer += 1;
-                        }
-                        layer
-                    })
-                    .collect(),
-            )
-        }
-        SchemeKind::Adaptive => {
-            let p = policy.take().expect("Adaptive needs a trained policy");
+    let mut mode: FleetRouterMode<'_> = match (kind, policy.take()) {
+        (SchemeKind::Adaptive, Some(p)) => {
             let s = scaler.expect("Adaptive needs a context scaler");
-            let scaled: Vec<Vec<f32>> =
-                oracle.outcomes.iter().map(|o| s.transform(&o.context)).collect();
             let norm = scenario_load_normalizer(scenario);
-            if p.input_dim() == s.dim() {
-                FleetRouterMode::Table(p.greedy_batch(&scaled))
-            } else if p.input_dim() == s.dim() + norm.dims() {
+            if p.input_dim() == s.dim() + norm.dims() {
+                // Load-aware policy: routed per window on the live queue
+                // state — no precomputable table.
+                let scaled: Vec<Vec<f32>> =
+                    oracle.outcomes.iter().map(|o| s.transform(&o.context)).collect();
                 let scratch = Vec::with_capacity(p.input_dim());
                 FleetRouterMode::LoadAware { policy: p, base: scaled, norm, scratch }
             } else {
-                panic!(
-                    "Adaptive policy input dim {} matches neither the base context ({}) nor \
-                     base + load features ({})",
-                    p.input_dim(),
-                    s.dim(),
-                    s.dim() + norm.dims()
-                );
+                // Static policy (or a dimension mismatch, which the
+                // table builder rejects with the full diagnostic).
+                FleetRouterMode::Table(scheme_action_table(scenario, oracle, kind, Some(p), scaler))
             }
         }
+        (_, p) => FleetRouterMode::Table(scheme_action_table(scenario, oracle, kind, p, scaler)),
     };
 
     let mut confusion = BinaryConfusion::new();

@@ -1,0 +1,412 @@
+//! Chunked parallel parsing: the serial readers, fanned out over byte
+//! ranges, stitched back in input order.
+//!
+//! The byte stream is split into per-worker ranges whose boundaries are
+//! **snapped forward past the next `\n`**, so no record ever straddles a
+//! chunk (CRLF-safe: `\r` immediately precedes its `\n`, so a boundary
+//! placed *after* a newline can never split a CRLF pair; comment and
+//! blank lines need no special casing because whole lines land in
+//! exactly one chunk). Parsing then runs in two phases:
+//!
+//! 1. **Line numbering** — newline counts per range in parallel, prefix
+//!    summed, give each chunk the global 1-based number of its first
+//!    line; each worker's reader starts there
+//!    ([`CsvReader::with_start_line`]), so per-chunk errors carry
+//!    file-global line numbers with no post-hoc fixup.
+//! 2. **Extract + stitch** — workers run the *stateless* half of the
+//!    schema adapters ([`PowerRow::extract`](super::schema) /
+//!    `MhealthRow::extract`) over their ranges concurrently on the
+//!    [`hec_tensor::parallel`] scoped-thread substrate; the stitch phase
+//!    replays every extracted row, chunk by chunk in input order,
+//!    through the same *stateful* builder the serial path uses
+//!    (imputation, day labels, session windows). Output is therefore
+//!    **byte-identical to the serial readers by construction**, whatever
+//!    `HEC_THREADS` or the chunk size.
+//!
+//! Error fidelity: within a chunk, workers stop at the first
+//! record-level error, exactly where the serial reader would; the stitch
+//! phase replays each chunk's rows *before* surfacing its error, so the
+//! first error in input order wins — same variant, same message, same
+//! 1-based line number as serial. The one stateful wrinkle (the power
+//! reader resolves a value through the imputer *before* parsing the
+//! label field) is handled by deferring the label parse into the row —
+//! see [`PowerRow`](super::schema::PowerRow).
+
+use std::io::Cursor;
+
+use hec_tensor::parallel::parallel_map;
+
+use crate::ingest::csv::CsvReader;
+use crate::ingest::ndjson::NdjsonReader;
+use crate::ingest::schema::{
+    MhealthBuilder, MhealthNdjsonSource, MhealthRow, PowerBuilder, PowerCsvSource, PowerRow,
+};
+use crate::mhealth::CHANNELS;
+use crate::source::{IngestError, LabeledCorpus};
+
+/// Splits `bytes` into contiguous ranges of roughly `chunk_bytes` each,
+/// every boundary snapped forward to just after the next `\n` so no
+/// record (or CRLF pair) straddles two ranges. The concatenation of the
+/// ranges is exactly `0..bytes.len()`; the final range may lack a
+/// trailing newline (a file's last line often does too).
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes == 0`.
+pub fn chunk_ranges(bytes: &[u8], chunk_bytes: usize) -> Vec<(usize, usize)> {
+    assert!(chunk_bytes >= 1, "chunk_bytes must be non-zero");
+    let len = bytes.len();
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < len {
+        let mut end = (start + chunk_bytes).min(len);
+        while end < len && bytes[end - 1] != b'\n' {
+            end += 1;
+        }
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Global 1-based first-line number of each range: one plus the number
+/// of newlines before the range's start (counted in parallel, prefix
+/// summed — phase 1 of the chunked parse).
+fn start_lines(bytes: &[u8], ranges: &[(usize, usize)]) -> Vec<u64> {
+    let counts = parallel_map(ranges, |_, &(start, end)| {
+        bytes[start..end].iter().filter(|&&b| b == b'\n').count() as u64
+    });
+    let mut lines = Vec::with_capacity(ranges.len());
+    let mut first = 1u64;
+    for count in counts {
+        lines.push(first);
+        first += count;
+    }
+    lines
+}
+
+/// Picks a chunk size for `len` bytes across `threads` workers: one
+/// chunk per worker, floored so tiny inputs stay in one chunk (spawning
+/// a thread per handful of lines costs more than it saves).
+pub(crate) fn default_chunk_bytes(len: usize, threads: usize) -> usize {
+    const MIN_CHUNK: usize = 64 * 1024;
+    len.div_ceil(threads.max(1)).max(MIN_CHUNK)
+}
+
+/// One chunk's extraction output for the power schema. The first record
+/// is carried separately with its header-shape flag: only the stitch
+/// phase knows whether a chunk's first record is the *file's* first
+/// record (the only one the serial reader would header-skip) — a chunk
+/// whose range starts with comment lines may well contribute the file's
+/// first record even when it is not chunk 0.
+struct PowerChunk {
+    /// The chunk's first record: (looks-like-header, deferred extract).
+    first: Option<(bool, Result<PowerRow, IngestError>)>,
+    /// Records after the first; extraction stopped at the first error.
+    rows: Vec<PowerRow>,
+    /// Reader or extraction error that stopped this chunk, if any.
+    err: Option<IngestError>,
+}
+
+impl PowerCsvSource {
+    /// Parses an in-memory byte stream with the chunked parallel path.
+    /// Byte-identical to [`parse`](Self::parse) — same corpus on
+    /// success, same first error (variant, message, global 1-based line
+    /// number) on failure — for every `chunk_bytes >= 1` and thread
+    /// count.
+    pub fn parse_chunked(
+        &self,
+        bytes: &[u8],
+        chunk_bytes: usize,
+    ) -> Result<LabeledCorpus, IngestError> {
+        let name = crate::ingest::schema::trace_name(&self.path);
+        let ranges = chunk_ranges(bytes, chunk_bytes);
+        let starts = start_lines(bytes, &ranges);
+        let chunks: Vec<PowerChunk> = parallel_map(&ranges, |i, &(start, end)| {
+            let mut reader = CsvReader::new(Cursor::new(&bytes[start..end]), name.clone())
+                .with_start_line(starts[i]);
+            let mut chunk = PowerChunk { first: None, rows: Vec::new(), err: None };
+            loop {
+                match reader.next_record() {
+                    Ok(Some(rec)) => {
+                        if chunk.first.is_none() {
+                            let headerish = rec.looks_like_header();
+                            let extracted = PowerRow::extract(&rec);
+                            // A failed non-header first record stops the
+                            // chunk like any other error; a header-shaped
+                            // one keeps parsing — the stitch phase may
+                            // drop it as the file's header.
+                            let stop = !headerish && extracted.is_err();
+                            chunk.first = Some((headerish, extracted));
+                            if stop {
+                                return chunk;
+                            }
+                        } else {
+                            match PowerRow::extract(&rec) {
+                                Ok(row) => chunk.rows.push(row),
+                                Err(e) => {
+                                    chunk.err = Some(e);
+                                    return chunk;
+                                }
+                            }
+                        }
+                    }
+                    Ok(None) => return chunk,
+                    Err(e) => {
+                        chunk.err = Some(e);
+                        return chunk;
+                    }
+                }
+            }
+        });
+
+        // Stitch: replay rows chunk by chunk in input order through the
+        // same stateful builder the serial path uses; first error in
+        // input order wins.
+        let mut builder = PowerBuilder::new(self.policy, self.samples_per_day);
+        let mut file_first_record = true;
+        for chunk in chunks {
+            if let Some((headerish, extracted)) = chunk.first {
+                if std::mem::take(&mut file_first_record) && headerish {
+                    // The file's first record is header-shaped: the
+                    // serial reader skips it, so drop it here too.
+                } else {
+                    builder.push(extracted?)?;
+                }
+            }
+            for row in chunk.rows {
+                builder.push(row)?;
+            }
+            if let Some(e) = chunk.err {
+                return Err(e);
+            }
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// One chunk's extraction output for the MHEALTH schema: rows plus a
+/// flat channel buffer (`rows.len() × CHANNELS`), avoiding a `Vec` per
+/// record. No header handling — the NDJSON schema has none.
+struct MhealthChunk {
+    rows: Vec<MhealthRow>,
+    samples: Vec<f32>,
+    err: Option<IngestError>,
+}
+
+impl MhealthNdjsonSource {
+    /// Parses an in-memory byte stream with the chunked parallel path —
+    /// byte-identical to [`parse`](Self::parse), like
+    /// [`PowerCsvSource::parse_chunked`].
+    pub fn parse_chunked(
+        &self,
+        bytes: &[u8],
+        chunk_bytes: usize,
+    ) -> Result<LabeledCorpus, IngestError> {
+        let name = crate::ingest::schema::trace_name(&self.path);
+        let ranges = chunk_ranges(bytes, chunk_bytes);
+        let starts = start_lines(bytes, &ranges);
+        let chunks: Vec<MhealthChunk> = parallel_map(&ranges, |i, &(start, end)| {
+            let mut reader = NdjsonReader::new(Cursor::new(&bytes[start..end]), name.clone())
+                .with_start_line(starts[i]);
+            let mut chunk = MhealthChunk { rows: Vec::new(), samples: Vec::new(), err: None };
+            loop {
+                match reader.next_record() {
+                    Ok(Some(rec)) => match MhealthRow::extract(&rec) {
+                        Ok((row, ch)) => {
+                            chunk.rows.push(row);
+                            chunk.samples.extend_from_slice(ch);
+                        }
+                        Err(e) => {
+                            chunk.err = Some(e);
+                            return chunk;
+                        }
+                    },
+                    Ok(None) => return chunk,
+                    Err(e) => {
+                        chunk.err = Some(e);
+                        return chunk;
+                    }
+                }
+            }
+        });
+
+        let mut builder = MhealthBuilder::new(self.policy, self.window, self.stride);
+        for chunk in chunks {
+            for (i, row) in chunk.rows.into_iter().enumerate() {
+                builder.push(row, &chunk.samples[i * CHANNELS..(i + 1) * CHANNELS])?;
+            }
+            if let Some(e) = chunk.err {
+                return Err(e);
+            }
+        }
+        Ok(builder.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::MissingValuePolicy;
+
+    fn power(spd: usize, policy: MissingValuePolicy) -> PowerCsvSource {
+        PowerCsvSource::new("power.csv", spd, policy)
+    }
+
+    fn mhealth(window: usize, stride: usize) -> MhealthNdjsonSource {
+        MhealthNdjsonSource::new("trace.ndjson", window, stride, MissingValuePolicy::Reject)
+    }
+
+    /// Asserts chunked == serial (corpus or error) at every chunk size.
+    fn assert_power_matches(src: &PowerCsvSource, text: &str) {
+        let serial = src.parse(Cursor::new(text));
+        for chunk_bytes in 1..=text.len().max(1) {
+            let chunked = src.parse_chunked(text.as_bytes(), chunk_bytes);
+            match (&serial, &chunked) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.classes, b.classes, "chunk_bytes={chunk_bytes}");
+                    assert_eq!(a.len(), b.len(), "chunk_bytes={chunk_bytes}");
+                    for (wa, wb) in a.windows.iter().zip(&b.windows) {
+                        assert_eq!(wa.data.as_slice(), wb.data.as_slice());
+                        assert_eq!(wa.anomalous, wb.anomalous);
+                    }
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.line(), b.line(), "chunk_bytes={chunk_bytes}");
+                    assert_eq!(a.to_string(), b.to_string(), "chunk_bytes={chunk_bytes}");
+                }
+                _ => panic!("chunk_bytes={chunk_bytes}: serial {serial:?} vs chunked {chunked:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_cover_input_and_snap_to_newlines() {
+        let text = b"aa\nbbbb\ncc\nd";
+        for chunk in 1..=text.len() + 2 {
+            let ranges = chunk_ranges(text, chunk);
+            assert_eq!(ranges.first().map(|r| r.0), Some(0));
+            assert_eq!(ranges.last().map(|r| r.1), Some(text.len()));
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0, "ranges must tile the input");
+                assert_eq!(text[pair[0].1 - 1], b'\n', "boundary must follow a newline");
+            }
+        }
+        assert!(chunk_ranges(b"", 8).is_empty());
+    }
+
+    #[test]
+    fn crlf_never_splits_across_a_boundary() {
+        let text = b"1,0\r\n2,0\r\n3,1\r\n";
+        for chunk in 1..=text.len() {
+            for &(start, end) in &chunk_ranges(text, chunk) {
+                let range = &text[start..end];
+                assert!(!range.starts_with(b"\n"), "LF split from its CR at {start}");
+                assert!(!range.ends_with(b"\r"), "CR split from its LF at {end}");
+            }
+        }
+    }
+
+    #[test]
+    fn start_lines_are_global_and_one_based() {
+        let text = b"a\nb\nc\nd\ne\n";
+        let ranges = chunk_ranges(text, 4); // "a\nb\n", "c\nd\n", "e\n"
+        assert_eq!(start_lines(text, &ranges), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn power_chunked_matches_serial_on_clean_input() {
+        let text = "# trace\ndemand,label\n1,0\n2,0\n3,1\n4,1\n5,0\n6,0\n7,0\n";
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), text);
+    }
+
+    #[test]
+    fn power_chunked_matches_serial_on_errors() {
+        // Malformed number mid-file: same line, same message.
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), "1,0\n2,0\nbogus,0\n4,0\n");
+        // Missing value under both policies, including the deferred-label
+        // trap: `,bogus` must report the missing value, not the label.
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), "1,0\n,bogus\n");
+        assert_power_matches(&power(2, MissingValuePolicy::ImputePrevious), ",0\n2,0\n");
+        // Day-label disagreement (stateful error raised at stitch time).
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), "1,0\n2,2\n");
+        // Arity error.
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), "1,0\n2,0,9\n");
+    }
+
+    #[test]
+    fn power_chunked_handles_headers_and_comments() {
+        // Header not in chunk 0's range once chunks shrink below the
+        // comment block: the stitch phase must still drop exactly one
+        // file-first header record.
+        let text = "# a\n# b\n# c\nvalue,label\n1,0\n2,0\n";
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), text);
+        // A header-shaped line mid-file is data and must error like serial.
+        let text = "1,0\n2,0\nvalue,label\n3,0\n";
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), text);
+    }
+
+    #[test]
+    fn power_chunked_matches_serial_with_crlf_and_impute() {
+        let text = "demand\r\n1\r\n\r\n# gap\r\n?\r\n3\r\n4\r\n";
+        assert_power_matches(&power(2, MissingValuePolicy::ImputePrevious), text);
+        assert_power_matches(&power(2, MissingValuePolicy::Reject), text);
+    }
+
+    #[test]
+    fn mhealth_chunked_matches_serial() {
+        let line = |activity: usize, v: f32| {
+            let ch: Vec<String> = (0..CHANNELS).map(|c| format!("{}", v + c as f32)).collect();
+            format!("{{\"ch\": [{}], \"activity\": {activity}, \"subject\": 0}}", ch.join(", "))
+        };
+        let mut text = String::new();
+        for i in 0..6 {
+            text.push_str(&line(3, i as f32));
+            text.push('\n');
+        }
+        for i in 0..4 {
+            text.push_str(&line(10, 100.0 + i as f32));
+            text.push('\n');
+        }
+        let src = mhealth(4, 2);
+        let serial = src.parse(Cursor::new(&text)).unwrap();
+        for chunk_bytes in [1, 7, 64, text.len(), text.len() * 2] {
+            let chunked = src.parse_chunked(text.as_bytes(), chunk_bytes).unwrap();
+            assert_eq!(serial.classes, chunked.classes, "chunk_bytes={chunk_bytes}");
+            for (a, b) in serial.windows.iter().zip(&chunked.windows) {
+                assert_eq!(a.data.as_slice(), b.data.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn mhealth_chunked_matches_serial_on_errors() {
+        let text = "{\"ch\": [1, 2], \"activity\": 0}\n";
+        let src = mhealth(2, 1);
+        let serial = src.parse(Cursor::new(text)).unwrap_err();
+        for chunk_bytes in [1, 8, text.len()] {
+            let chunked = src.parse_chunked(text.as_bytes(), chunk_bytes).unwrap_err();
+            assert_eq!(serial.line(), chunked.line());
+            assert_eq!(serial.to_string(), chunked.to_string());
+        }
+    }
+
+    #[test]
+    fn chunked_respects_thread_count_and_stays_identical() {
+        let mut text = String::from("demand,label\n");
+        for i in 0..97 {
+            text.push_str(&format!("{}.5,{}\n", i, (i / 4) % 2));
+        }
+        let src = power(4, MissingValuePolicy::Reject);
+        let serial = src.parse(Cursor::new(&text)).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let chunked = hec_tensor::parallel::with_thread_count(threads, || {
+                src.parse_chunked(text.as_bytes(), text.len().div_ceil(threads)).unwrap()
+            });
+            assert_eq!(serial.classes, chunked.classes, "threads={threads}");
+            for (a, b) in serial.windows.iter().zip(&chunked.windows) {
+                assert_eq!(a.data.as_slice(), b.data.as_slice());
+            }
+        }
+    }
+}

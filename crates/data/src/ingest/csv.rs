@@ -79,6 +79,22 @@ impl<R: BufRead> CsvReader<R> {
         self
     }
 
+    /// Numbers lines from `first_line` instead of 1 — the chunked parser
+    /// hands each worker a mid-file byte range plus the global number of
+    /// its first line, so per-chunk errors carry file-global line numbers
+    /// with no post-hoc fixup. A reader whose first line is not line 1 is
+    /// by definition not at the physical start of the file, so it also
+    /// skips the UTF-8 BOM strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_line` is zero (line numbers are 1-based).
+    pub fn with_start_line(mut self, first_line: u64) -> Self {
+        assert!(first_line >= 1, "line numbers are 1-based");
+        self.line_no = first_line - 1;
+        self
+    }
+
     /// The 1-based number of the most recently read line (0 before the
     /// first record).
     pub fn line_number(&self) -> u64 {
@@ -100,6 +116,14 @@ impl<R: BufRead> CsvReader<R> {
                 return Ok(None);
             }
             self.line_no += 1;
+            if self.line_no == 1 {
+                // Strip a UTF-8 BOM off the very first line of the file
+                // (spreadsheet exports prepend one; it would otherwise
+                // read as field bytes and raise a spurious parse error).
+                if self.line.starts_with('\u{feff}') {
+                    self.line.drain(..'\u{feff}'.len_utf8());
+                }
+            }
             while self.line.ends_with('\n') || self.line.ends_with('\r') {
                 self.line.pop();
             }
@@ -346,6 +370,31 @@ mod tests {
     fn non_ascii_delimiter_rejected() {
         // A byte >= 0x80 could split inside a multi-byte UTF-8 character.
         let _ = reader("a\n").with_delimiter(Delimiter::Byte(0xA0));
+    }
+
+    #[test]
+    fn bom_is_stripped_from_the_first_line_only() {
+        // BOM before a header line: the header still looks like one.
+        let mut r = reader("\u{feff}value,label\n1.0,0\n");
+        let rec = r.next_record().unwrap().unwrap();
+        assert!(rec.looks_like_header(), "BOM must not hide the header");
+        // BOM before a data line: the first field parses.
+        let mut r = reader("\u{feff}1.5,2\n");
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.parse_f32(0).unwrap(), Some(1.5));
+    }
+
+    #[test]
+    fn start_line_offsets_numbering_and_disables_bom_strip() {
+        let mut r = reader("7.5\n8.5\n").with_start_line(41);
+        assert_eq!(r.next_record().unwrap().unwrap().line_number(), 41);
+        assert_eq!(r.next_record().unwrap().unwrap().line_number(), 42);
+        // A mid-file chunk beginning with BOM bytes is corrupt data, not
+        // a byte-order mark — it must surface as a parse failure.
+        let mut r = reader("\u{feff}1.5\n").with_start_line(10);
+        let rec = r.next_record().unwrap().unwrap();
+        let err = rec.parse_f32(0).unwrap_err();
+        assert_eq!(err.line(), 10);
     }
 
     #[test]

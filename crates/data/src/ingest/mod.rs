@@ -18,6 +18,14 @@
 //! synthetic generators, behind the shared
 //! [`DatasetSource`](crate::source::DatasetSource) trait.
 //!
+//! [`chunked`] is the high-throughput variant of the same contract: the
+//! byte stream splits into newline-snapped per-worker ranges, the
+//! stateless half of each schema adapter runs over the ranges
+//! concurrently, and a stitch phase replays the results through the
+//! serial builders — byte-identical corpus *and errors* at any thread
+//! count or chunk size (`PowerCsvSource::load_chunked` /
+//! `MhealthNdjsonSource::load_chunked`).
+//!
 //! **Missing values are an explicit policy, never a silent NaN.** Real
 //! traces have gaps (dropped samples, sensor faults, `null` / empty
 //! fields); a single NaN reaching [`crate::Standardizer::fit`] would
@@ -32,10 +40,12 @@
 //! record ([`IngestError`](crate::source::IngestError)) — malformed
 //! traces fail with a pointer at the line to fix, never a panic.
 
+pub mod chunked;
 pub mod csv;
 pub mod ndjson;
 pub mod schema;
 
+pub use chunked::chunk_ranges;
 pub use csv::{CsvReader, Delimiter};
 pub use ndjson::{JsonValue, NdjsonReader};
 pub use schema::{MhealthNdjsonSource, PowerCsvSource};

@@ -21,8 +21,8 @@ use std::path::{Path, PathBuf};
 
 use hec_tensor::Matrix;
 
-use crate::ingest::csv::CsvReader;
-use crate::ingest::ndjson::NdjsonReader;
+use crate::ingest::csv::{CsvReader, CsvRecord};
+use crate::ingest::ndjson::{NdjsonReader, NdjsonRecord};
 use crate::ingest::{Imputer, MissingValuePolicy};
 use crate::mhealth::{Activity, CHANNELS};
 use crate::source::{DatasetSource, IngestError, LabeledCorpus};
@@ -40,16 +40,113 @@ fn open(path: &Path, name: &str) -> Result<std::io::BufReader<std::fs::File>, In
 
 /// Logical trace name for error reports: the file name only, never the
 /// absolute path (keeps repro output byte-identical across machines).
-fn trace_name(path: &Path) -> String {
+pub(crate) fn trace_name(path: &Path) -> String {
     path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_else(|| "?".into())
+}
+
+/// The stateless per-record part of a power-demand reading, extracted by
+/// [`PowerRow::extract`] and replayed through [`PowerBuilder::push`].
+///
+/// The split is what makes chunked parsing byte-identical to serial: a
+/// chunk worker extracts rows **without** touching the stateful imputer /
+/// day-label machinery, and the stitch phase replays every row through
+/// one [`PowerBuilder`] in input order — the exact code path the serial
+/// reader takes. The label parse is *deferred* (stored as a `Result`)
+/// because the serial reader resolves the value through the imputer
+/// before parsing the label; eagerly failing on a bad label in a worker
+/// would report the wrong error for a line like `,bogus`.
+#[derive(Debug)]
+pub(crate) struct PowerRow {
+    line: u64,
+    /// Raw first field: `None` = missing marker, for the imputer.
+    raw: Option<f32>,
+    /// Deferred label parse (serial order: imputer first, label second).
+    label: Result<usize, IngestError>,
+}
+
+impl PowerRow {
+    /// Extracts the stateless parts of one CSV record, in the serial
+    /// reader's error order (arity, then value, label deferred).
+    pub(crate) fn extract(rec: &CsvRecord<'_>) -> Result<Self, IngestError> {
+        rec.expect_fields(1, 2)?;
+        let raw = rec.parse_f32(0)?;
+        // An omitted label means normal — both a 1-field row and the
+        // trailing-comma export shape `0.35,` (empty second field).
+        let label =
+            if rec.len() > 1 && !rec.field(1).is_empty() { rec.parse_usize(1) } else { Ok(0) };
+        Ok(Self { line: rec.line_number(), raw, label })
+    }
+}
+
+/// The stateful half of power-demand ingestion: imputation, day-label
+/// consistency, and fixed-length day windowing. Both the serial and the
+/// chunked path feed rows through this one type, so their outputs agree
+/// by construction.
+#[derive(Debug)]
+pub(crate) struct PowerBuilder {
+    samples_per_day: usize,
+    imputer: Imputer,
+    windows: Vec<LabeledWindow>,
+    classes: Vec<Option<usize>>,
+    day: Vec<f32>,
+    /// The current day's label and the line that established it.
+    day_label: Option<(usize, u64)>,
+}
+
+impl PowerBuilder {
+    pub(crate) fn new(policy: MissingValuePolicy, samples_per_day: usize) -> Self {
+        Self {
+            samples_per_day,
+            imputer: Imputer::new(policy, 1),
+            windows: Vec::new(),
+            classes: Vec::new(),
+            day: Vec::with_capacity(samples_per_day),
+            day_label: None,
+        }
+    }
+
+    /// Replays one row through the stateful machinery (imputer → label →
+    /// day-label consistency → day windowing), in serial order.
+    pub(crate) fn push(&mut self, row: PowerRow) -> Result<(), IngestError> {
+        let value = self.imputer.resolve(0, row.raw, row.line)?;
+        let label = row.label?;
+        match self.day_label {
+            None => self.day_label = Some((label, row.line)),
+            Some((l, at)) if l != label => {
+                return Err(IngestError::Schema {
+                    line: row.line,
+                    message: format!(
+                        "label {label} disagrees with label {l} from line {at}: a day's \
+                         readings must share one label"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+        self.day.push(value);
+        if self.day.len() == self.samples_per_day {
+            let (label, _) = self.day_label.take().expect("label set with the day's first reading");
+            let data = Matrix::from_vec(self.samples_per_day, 1, std::mem::take(&mut self.day));
+            self.windows.push(LabeledWindow::new(data, label > 0));
+            self.classes.push((label > 0).then(|| label - 1));
+            self.day = Vec::with_capacity(self.samples_per_day);
+        }
+        Ok(())
+    }
+
+    /// Finishes the corpus. A trailing partial day is dropped, matching
+    /// the windowing protocol's treatment of incomplete tails.
+    pub(crate) fn finish(self) -> LabeledCorpus {
+        LabeledCorpus::new(self.windows, self.classes)
+    }
 }
 
 /// File-backed univariate power-demand trace (CSV).
 #[derive(Debug, Clone)]
 pub struct PowerCsvSource {
-    path: PathBuf,
-    samples_per_day: usize,
-    policy: MissingValuePolicy,
+    pub(crate) path: PathBuf,
+    pub(crate) samples_per_day: usize,
+    pub(crate) policy: MissingValuePolicy,
 }
 
 impl PowerCsvSource {
@@ -73,49 +170,15 @@ impl PowerCsvSource {
     pub fn parse(&self, src: impl BufRead) -> Result<LabeledCorpus, IngestError> {
         let name = trace_name(&self.path);
         let mut reader = CsvReader::new(src, name);
-        let mut imputer = Imputer::new(self.policy, 1);
-
-        let mut windows = Vec::new();
-        let mut classes = Vec::new();
-        let mut day: Vec<f32> = Vec::with_capacity(self.samples_per_day);
-        // The current day's label and the line that established it.
-        let mut day_label: Option<(usize, u64)> = None;
+        let mut builder = PowerBuilder::new(self.policy, self.samples_per_day);
         let mut first = true;
         while let Some(rec) = reader.next_record()? {
             if std::mem::take(&mut first) && rec.looks_like_header() {
                 continue;
             }
-            rec.expect_fields(1, 2)?;
-            let value = imputer.resolve(0, rec.parse_f32(0)?, rec.line_number())?;
-            // An omitted label means normal — both a 1-field row and the
-            // trailing-comma export shape `0.35,` (empty second field).
-            let label =
-                if rec.len() > 1 && !rec.field(1).is_empty() { rec.parse_usize(1)? } else { 0 };
-            match day_label {
-                None => day_label = Some((label, rec.line_number())),
-                Some((l, at)) if l != label => {
-                    return Err(IngestError::Schema {
-                        line: rec.line_number(),
-                        message: format!(
-                            "label {label} disagrees with label {l} from line {at}: a day's \
-                             readings must share one label"
-                        ),
-                    });
-                }
-                Some(_) => {}
-            }
-            day.push(value);
-            if day.len() == self.samples_per_day {
-                let (label, _) = day_label.take().expect("label set with the day's first reading");
-                let data = Matrix::from_vec(self.samples_per_day, 1, std::mem::take(&mut day));
-                windows.push(LabeledWindow::new(data, label > 0));
-                classes.push((label > 0).then(|| label - 1));
-                day = Vec::with_capacity(self.samples_per_day);
-            }
+            builder.push(PowerRow::extract(&rec)?)?;
         }
-        // A trailing partial day is dropped, matching the windowing
-        // protocol's treatment of incomplete tails.
-        Ok(LabeledCorpus::new(windows, classes))
+        Ok(builder.finish())
     }
 }
 
@@ -131,19 +194,155 @@ impl DatasetSource for PowerCsvSource {
     fn load(&self) -> Result<LabeledCorpus, IngestError> {
         let _span = hec_telemetry::WallSpan::new("ingest.load");
         let src = open(&self.path, &trace_name(&self.path))?;
+        record_bytes("power-csv", &self.path);
         let corpus = self.parse(src)?;
         record_ingest("power-csv", &corpus);
         Ok(corpus)
     }
 }
 
+impl PowerCsvSource {
+    /// Loads the configured path through the chunked parallel parser
+    /// ([`Self::parse_chunked`]): the whole file is read into memory,
+    /// split into one newline-snapped range per
+    /// [`hec_tensor::parallel::thread_count`] worker, and parsed
+    /// concurrently. Byte-identical corpus/errors and identical
+    /// telemetry counters to [`DatasetSource::load`], at any thread
+    /// count.
+    pub fn load_chunked(&self) -> Result<LabeledCorpus, IngestError> {
+        let _span = hec_telemetry::WallSpan::new("ingest.load");
+        let name = trace_name(&self.path);
+        let bytes =
+            std::fs::read(&self.path).map_err(|e| IngestError::Io { name, line: 0, source: e })?;
+        record_byte_count("power-csv", bytes.len() as u64);
+        let threads = hec_tensor::parallel::thread_count();
+        let corpus =
+            self.parse_chunked(&bytes, super::chunked::default_chunk_bytes(bytes.len(), threads))?;
+        record_ingest("power-csv", &corpus);
+        Ok(corpus)
+    }
+}
+
+/// The stateless per-record part of an MHEALTH sample; channel values
+/// travel alongside (borrowed in the serial path, copied into a chunk's
+/// flat buffer in the chunked path). All of the record-level checks —
+/// activity parse + range, subject, `ch` parse + arity — happen here,
+/// *before* any stateful step the serial reader would take, so a chunk
+/// worker failing at extraction reports exactly the serial error.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MhealthRow {
+    line: u64,
+    subject: usize,
+    activity: usize,
+}
+
+impl MhealthRow {
+    /// Extracts one NDJSON record, in the serial reader's error order.
+    /// Returns the row plus its `ch` slice (borrowing the record).
+    pub(crate) fn extract<'a>(rec: &NdjsonRecord<'a>) -> Result<(Self, &'a [f32]), IngestError> {
+        let activity = rec.integer("activity")?;
+        if activity >= Activity::ALL.len() {
+            return Err(IngestError::Schema {
+                line: rec.line_number(),
+                message: format!(
+                    "activity index {activity} out of range (MHEALTH has {} activities)",
+                    Activity::ALL.len()
+                ),
+            });
+        }
+        let subject = match rec.get("subject") {
+            None => 0,
+            Some(_) => rec.integer("subject")?,
+        };
+        let ch = rec.numbers("ch")?;
+        if ch.len() != CHANNELS {
+            return Err(IngestError::Schema {
+                line: rec.line_number(),
+                message: format!("expected {CHANNELS} channels in \"ch\", got {}", ch.len()),
+            });
+        }
+        Ok((Self { line: rec.line_number(), subject, activity }, ch))
+    }
+}
+
+/// The stateful half of MHEALTH ingestion: session tracking, imputation
+/// (reset at session boundaries), and per-session sliding windows. Both
+/// the serial and the chunked path feed rows through this one type.
+#[derive(Debug)]
+pub(crate) struct MhealthBuilder {
+    window: usize,
+    stride: usize,
+    imputer: Imputer,
+    windows: Vec<LabeledWindow>,
+    classes: Vec<Option<usize>>,
+    /// The open session's samples (row-major steps × CHANNELS) and key.
+    session: Vec<f32>,
+    session_key: Option<(usize, usize)>, // (subject, activity)
+}
+
+impl MhealthBuilder {
+    pub(crate) fn new(policy: MissingValuePolicy, window: usize, stride: usize) -> Self {
+        Self {
+            window,
+            stride,
+            imputer: Imputer::new(policy, CHANNELS),
+            windows: Vec::new(),
+            classes: Vec::new(),
+            session: Vec::new(),
+            session_key: None,
+        }
+    }
+
+    /// Windows out the open session (if any) and discards its buffer.
+    fn close_session(&mut self) {
+        let Some((_, activity_idx)) = self.session_key else { return };
+        let steps = self.session.len() / CHANNELS;
+        if steps >= self.window {
+            let activity = Activity::ALL[activity_idx];
+            let data = Matrix::from_vec(steps, CHANNELS, std::mem::take(&mut self.session));
+            for w in sliding_windows(&data, self.window, self.stride) {
+                self.windows.push(LabeledWindow::new(w, !activity.is_normal()));
+                self.classes.push((!activity.is_normal()).then_some(activity_idx));
+            }
+        } else {
+            // Runs shorter than a window yield nothing (the protocol
+            // drops incomplete tails); discard the buffered samples.
+            self.session.clear();
+        }
+    }
+
+    /// Replays one sample through the stateful machinery, in serial
+    /// order: session-boundary close + imputer reset, then per-channel
+    /// imputation.
+    pub(crate) fn push(&mut self, row: MhealthRow, ch: &[f32]) -> Result<(), IngestError> {
+        let key = (row.subject, row.activity);
+        if self.session_key != Some(key) {
+            self.close_session();
+            self.session_key = Some(key);
+            // Impute-previous must not bridge sessions: a gap at the
+            // start of a new activity has no in-session history.
+            self.imputer.reset();
+        }
+        for (c, &raw) in ch.iter().enumerate() {
+            let v = self.imputer.resolve(c, Some(raw), row.line)?;
+            self.session.push(v);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(mut self) -> LabeledCorpus {
+        self.close_session();
+        LabeledCorpus::new(self.windows, self.classes)
+    }
+}
+
 /// File-backed MHEALTH-shaped multivariate trace (NDJSON).
 #[derive(Debug, Clone)]
 pub struct MhealthNdjsonSource {
-    path: PathBuf,
-    window: usize,
-    stride: usize,
-    policy: MissingValuePolicy,
+    pub(crate) path: PathBuf,
+    pub(crate) window: usize,
+    pub(crate) stride: usize,
+    pub(crate) policy: MissingValuePolicy,
 }
 
 impl MhealthNdjsonSource {
@@ -167,70 +366,12 @@ impl MhealthNdjsonSource {
     pub fn parse(&self, src: impl BufRead) -> Result<LabeledCorpus, IngestError> {
         let name = trace_name(&self.path);
         let mut reader = NdjsonReader::new(src, name);
-        let mut imputer = Imputer::new(self.policy, CHANNELS);
-
-        let mut windows = Vec::new();
-        let mut classes = Vec::new();
-        // The open session's samples (row-major steps × CHANNELS) and key.
-        let mut session: Vec<f32> = Vec::new();
-        let mut session_key: Option<(usize, usize)> = None; // (subject, activity)
-        let close_session = |session: &mut Vec<f32>,
-                             key: Option<(usize, usize)>,
-                             windows: &mut Vec<LabeledWindow>,
-                             classes: &mut Vec<Option<usize>>| {
-            let Some((_, activity_idx)) = key else { return };
-            let steps = session.len() / CHANNELS;
-            if steps >= self.window {
-                let activity = Activity::ALL[activity_idx];
-                let data = Matrix::from_vec(steps, CHANNELS, std::mem::take(session));
-                for w in sliding_windows(&data, self.window, self.stride) {
-                    windows.push(LabeledWindow::new(w, !activity.is_normal()));
-                    classes.push((!activity.is_normal()).then_some(activity_idx));
-                }
-            } else {
-                // Runs shorter than a window yield nothing (the protocol
-                // drops incomplete tails); discard the buffered samples.
-                session.clear();
-            }
-        };
-
+        let mut builder = MhealthBuilder::new(self.policy, self.window, self.stride);
         while let Some(rec) = reader.next_record()? {
-            let activity = rec.integer("activity")?;
-            if activity >= Activity::ALL.len() {
-                return Err(IngestError::Schema {
-                    line: rec.line_number(),
-                    message: format!(
-                        "activity index {activity} out of range (MHEALTH has {} activities)",
-                        Activity::ALL.len()
-                    ),
-                });
-            }
-            let subject = match rec.get("subject") {
-                None => 0,
-                Some(_) => rec.integer("subject")?,
-            };
-            let ch = rec.numbers("ch")?;
-            if ch.len() != CHANNELS {
-                return Err(IngestError::Schema {
-                    line: rec.line_number(),
-                    message: format!("expected {CHANNELS} channels in \"ch\", got {}", ch.len()),
-                });
-            }
-            let key = (subject, activity);
-            if session_key != Some(key) {
-                close_session(&mut session, session_key, &mut windows, &mut classes);
-                session_key = Some(key);
-                // Impute-previous must not bridge sessions: a gap at the
-                // start of a new activity has no in-session history.
-                imputer.reset();
-            }
-            for (c, &raw) in ch.iter().enumerate() {
-                let v = imputer.resolve(c, Some(raw), rec.line_number())?;
-                session.push(v);
-            }
+            let (row, ch) = MhealthRow::extract(&rec)?;
+            builder.push(row, ch)?;
         }
-        close_session(&mut session, session_key, &mut windows, &mut classes);
-        Ok(LabeledCorpus::new(windows, classes))
+        Ok(builder.finish())
     }
 }
 
@@ -246,9 +387,46 @@ impl DatasetSource for MhealthNdjsonSource {
     fn load(&self) -> Result<LabeledCorpus, IngestError> {
         let _span = hec_telemetry::WallSpan::new("ingest.load");
         let src = open(&self.path, &trace_name(&self.path))?;
+        record_bytes("mhealth-ndjson", &self.path);
         let corpus = self.parse(src)?;
         record_ingest("mhealth-ndjson", &corpus);
         Ok(corpus)
+    }
+}
+
+impl MhealthNdjsonSource {
+    /// Loads the configured path through the chunked parallel parser —
+    /// see [`PowerCsvSource::load_chunked`].
+    pub fn load_chunked(&self) -> Result<LabeledCorpus, IngestError> {
+        let _span = hec_telemetry::WallSpan::new("ingest.load");
+        let name = trace_name(&self.path);
+        let bytes =
+            std::fs::read(&self.path).map_err(|e| IngestError::Io { name, line: 0, source: e })?;
+        record_byte_count("mhealth-ndjson", bytes.len() as u64);
+        let threads = hec_tensor::parallel::thread_count();
+        let corpus =
+            self.parse_chunked(&bytes, super::chunked::default_chunk_bytes(bytes.len(), threads))?;
+        record_ingest("mhealth-ndjson", &corpus);
+        Ok(corpus)
+    }
+}
+
+/// Records the trace's on-disk size as the `ingest.bytes` counter. The
+/// serial path reads the size from file metadata so its counter equals
+/// the chunked path's in-memory byte count — telemetry snapshots stay
+/// identical whichever loader ran.
+fn record_bytes(format: &'static str, path: &Path) {
+    if hec_telemetry::ENABLED {
+        if let Ok(meta) = std::fs::metadata(path) {
+            record_byte_count(format, meta.len());
+        }
+    }
+}
+
+/// Registry half of [`record_bytes`], shared with the chunked loader.
+fn record_byte_count(format: &'static str, bytes: u64) {
+    if hec_telemetry::ENABLED {
+        hec_telemetry::counter_add("ingest.bytes", &[("format", format)], bytes);
     }
 }
 

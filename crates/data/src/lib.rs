@@ -25,6 +25,10 @@
 //!
 //! Supporting modules:
 //!
+//! * [`amplify`] — deterministic trace amplification: a checked-in
+//!   fixture corpus times a repetition factor (rep 0 verbatim, later
+//!   reps splitmix64-perturbed per window/channel) becomes an
+//!   engine-scale stream for the sharded fleet to ingest,
 //! * [`window`] — labelled windows and sliding-window extraction,
 //! * [`standardize`] — zero-mean/unit-variance per-channel scaling ("the data
 //!   is standardized to zero mean and unit variance", §III-A),
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod amplify;
 #[cfg(feature = "real-data")]
 pub mod ingest;
 pub mod metrics;
@@ -45,6 +50,7 @@ pub mod split;
 pub mod standardize;
 pub mod window;
 
+pub use amplify::{amplify_corpus, AmplifiedSource, PerturbConfig};
 pub use metrics::BinaryConfusion;
 pub use mhealth::{Activity, MhealthConfig, MhealthGenerator};
 pub use power::{PowerConfig, PowerGenerator};

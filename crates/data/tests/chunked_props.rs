@@ -1,0 +1,243 @@
+//! Property tests for the chunked parallel parsers (feature
+//! `real-data`): over randomly generated CSV/NDJSON inputs — CRLF line
+//! endings, comments, blank lines, headers, missing-value markers,
+//! malformed fields, day-label disagreements, arity errors — the chunked
+//! path must match the serial readers **exactly**, for every chunk size
+//! from one byte to past the whole file and at several thread counts:
+//!
+//! * on success: same windows (bitwise sample values), same labels, same
+//!   anomaly classes;
+//! * on failure: same error variant rendering, same message, same
+//!   1-based global line number (the first error in input order).
+//!
+//! Chunk boundaries land mid-record, mid-CRLF, mid-comment — everywhere
+//! — because every chunk size in the sweep is tried on every generated
+//! input.
+#![cfg(feature = "real-data")]
+
+use proptest::prelude::*;
+
+use hec_data::ingest::{MhealthNdjsonSource, MissingValuePolicy, PowerCsvSource};
+use hec_data::LabeledCorpus;
+
+const SPD: usize = 4;
+
+/// Renders one pseudo-random power-CSV line from a (kind, value) token.
+/// Most kinds are well-formed; a few inject the error paths the serial
+/// reader defines (missing values, malformed numbers, bad labels, arity
+/// slips) so error equality is exercised as often as success equality.
+fn power_line(kind: u8, v: u32, out: &mut String) {
+    let x = (v % 997) as f32 / 100.0;
+    let label = v % 4;
+    match kind % 16 {
+        0 => out.push_str("# a comment line\n"),
+        1 => out.push('\n'),
+        2 => out.push_str("   \n"),
+        3 => {
+            out.push_str(&format!("{x:.3},{label}\r\n"));
+        }
+        4 => {
+            // Unlabelled record (label defaults to 0).
+            out.push_str(&format!("{x:.3}\n"));
+        }
+        5 => {
+            // Empty label field (also defaults to 0).
+            out.push_str(&format!("{x:.3},\n"));
+        }
+        6 if v.is_multiple_of(5) => {
+            // Missing value (empty field) — policy-dependent.
+            out.push_str(&format!(",{label}\n"));
+        }
+        7 if v.is_multiple_of(7) => {
+            // Non-finite value — treated as missing.
+            out.push_str(&format!("nan,{label}\n"));
+        }
+        8 if v.is_multiple_of(11) => {
+            // Malformed number: Parse error at this line.
+            out.push_str("12..5,0\n");
+        }
+        9 if v.is_multiple_of(13) => {
+            // Malformed label AFTER a missing value marker would have
+            // fired — exercises the deferred-label stitch ordering.
+            out.push_str(&format!("{x:.3},bogus\n"));
+        }
+        10 if v.is_multiple_of(17) => {
+            // Arity slip: three fields.
+            out.push_str(&format!("{x:.3},{label},9\n"));
+        }
+        _ => {
+            out.push_str(&format!("{x:.3},{label}\n"));
+        }
+    }
+}
+
+/// Renders one pseudo-random MHEALTH NDJSON line. 18 channels; error
+/// kinds inject nulls, arity slips and invalid activities.
+fn mhealth_line(kind: u8, v: u32, out: &mut String) {
+    let subject = v % 2;
+    let activity = v % 5;
+    let base = (v % 89) as f32 / 10.0;
+    match kind % 12 {
+        0 => out.push_str("# a comment line\n"),
+        1 => out.push('\n'),
+        2 if v.is_multiple_of(5) => {
+            // One null sample — policy-dependent missing value.
+            let mut ch: Vec<String> = (0..18).map(|c| format!("{:.2}", base + c as f32)).collect();
+            ch[(v % 18) as usize] = "null".into();
+            out.push_str(&format!(
+                "{{\"subject\": {subject}, \"activity\": {activity}, \"ch\": [{}]}}\n",
+                ch.join(", ")
+            ));
+        }
+        3 if v.is_multiple_of(7) => {
+            // Arity slip: 17 channels.
+            let ch: Vec<String> = (0..17).map(|c| format!("{:.2}", base + c as f32)).collect();
+            out.push_str(&format!(
+                "{{\"subject\": {subject}, \"activity\": {activity}, \"ch\": [{}]}}\n",
+                ch.join(", ")
+            ));
+        }
+        4 if v.is_multiple_of(11) => {
+            // Invalid activity id.
+            let ch: Vec<String> = (0..18).map(|c| format!("{:.2}", base + c as f32)).collect();
+            out.push_str(&format!(
+                "{{\"subject\": {subject}, \"activity\": 99, \"ch\": [{}]}}\n",
+                ch.join(", ")
+            ));
+        }
+        5 if v.is_multiple_of(13) => {
+            // Truncated object: reader-level parse error.
+            out.push_str(&format!("{{\"subject\": {subject}, \"activity\": {activity}\n"));
+        }
+        _ => {
+            let ch: Vec<String> = (0..18).map(|c| format!("{:.2}", base + c as f32)).collect();
+            let crlf = if v.is_multiple_of(3) { "\r\n" } else { "\n" };
+            out.push_str(&format!(
+                "{{\"subject\": {subject}, \"activity\": {activity}, \"ch\": [{}]}}{crlf}",
+                ch.join(", ")
+            ));
+        }
+    }
+}
+
+/// The chunk-size sweep for an input of `len` bytes: every boundary
+/// regime from one-byte chunks (maximal stitching) to a single chunk
+/// covering the file (serial execution of the chunked code path).
+fn chunk_sizes(len: usize) -> Vec<usize> {
+    let mut sizes = vec![1, 2, 3, 5, 7, 13];
+    sizes.extend([len / 3, len / 2, len.saturating_sub(1), len, len + 7]);
+    sizes.retain(|&s| s >= 1);
+    sizes.dedup();
+    sizes
+}
+
+fn assert_corpora_eq(serial: &LabeledCorpus, chunked: &LabeledCorpus, ctx: &str) {
+    assert_eq!(serial.len(), chunked.len(), "{ctx}: window count");
+    assert_eq!(serial.classes, chunked.classes, "{ctx}: classes");
+    for (i, (a, b)) in serial.windows.iter().zip(chunked.windows.iter()).enumerate() {
+        assert_eq!(a.anomalous, b.anomalous, "{ctx}: window {i} label");
+        assert_eq!(a.data.as_slice(), b.data.as_slice(), "{ctx}: window {i} samples");
+    }
+}
+
+/// Serial vs chunked over every chunk size, success or failure.
+fn assert_power_equivalence(text: &str, policy: MissingValuePolicy) {
+    let source = PowerCsvSource::new("unused.csv", SPD, policy);
+    let serial = source.parse(std::io::Cursor::new(text.as_bytes()));
+    for chunk in chunk_sizes(text.len()) {
+        let chunked = source.parse_chunked(text.as_bytes(), chunk);
+        let ctx = format!("power[{policy}] chunk={chunk}");
+        match (&serial, &chunked) {
+            (Ok(s), Ok(c)) => assert_corpora_eq(s, c, &ctx),
+            (Err(s), Err(c)) => {
+                assert_eq!(s.line(), c.line(), "{ctx}: error line");
+                assert_eq!(s.to_string(), c.to_string(), "{ctx}: error message");
+            }
+            (s, c) => panic!("{ctx}: serial {s:?} vs chunked {c:?}"),
+        }
+    }
+}
+
+fn assert_mhealth_equivalence(text: &str, policy: MissingValuePolicy) {
+    let source = MhealthNdjsonSource::new("unused.ndjson", 3, 2, policy);
+    let serial = source.parse(std::io::Cursor::new(text.as_bytes()));
+    for chunk in chunk_sizes(text.len()) {
+        let chunked = source.parse_chunked(text.as_bytes(), chunk);
+        let ctx = format!("mhealth[{policy}] chunk={chunk}");
+        match (&serial, &chunked) {
+            (Ok(s), Ok(c)) => assert_corpora_eq(s, c, &ctx),
+            (Err(s), Err(c)) => {
+                assert_eq!(s.line(), c.line(), "{ctx}: error line");
+                assert_eq!(s.to_string(), c.to_string(), "{ctx}: error message");
+            }
+            (s, c) => panic!("{ctx}: serial {s:?} vs chunked {c:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Power CSV: chunked == serial on arbitrary record mixes, with and
+    /// without a leading header, under both missing-value policies.
+    #[test]
+    fn power_chunked_equals_serial(
+        tokens in proptest::collection::vec((0u8..32, 0u32..100_000), 0..80),
+        header in 0u8..2,
+    ) {
+        let mut text = String::new();
+        if header == 1 {
+            text.push_str("demand,label\n");
+        }
+        for &(kind, v) in &tokens {
+            power_line(kind, v, &mut text);
+        }
+        assert_power_equivalence(&text, MissingValuePolicy::Reject);
+        assert_power_equivalence(&text, MissingValuePolicy::ImputePrevious);
+    }
+
+    /// MHEALTH NDJSON: chunked == serial on arbitrary record mixes
+    /// (session-key changes included — subjects and activities vary per
+    /// record) under both missing-value policies.
+    #[test]
+    fn mhealth_chunked_equals_serial(
+        tokens in proptest::collection::vec((0u8..32, 0u32..100_000), 0..48),
+    ) {
+        let mut text = String::new();
+        for &(kind, v) in &tokens {
+            mhealth_line(kind, v, &mut text);
+        }
+        assert_mhealth_equivalence(&text, MissingValuePolicy::Reject);
+        assert_mhealth_equivalence(&text, MissingValuePolicy::ImputePrevious);
+    }
+
+    /// Thread count must not matter either: the same input parsed
+    /// chunked at 1, 2 and 5 workers is bitwise identical.
+    #[test]
+    fn power_chunked_is_thread_invariant(
+        tokens in proptest::collection::vec((0u8..32, 0u32..100_000), 0..60),
+    ) {
+        let mut text = String::new();
+        for &(kind, v) in &tokens {
+            power_line(kind, v, &mut text);
+        }
+        let source = PowerCsvSource::new("unused.csv", SPD, MissingValuePolicy::ImputePrevious);
+        let chunk = (text.len() / 4).max(1);
+        let base = hec_tensor::parallel::with_thread_count(1, || {
+            source.parse_chunked(text.as_bytes(), chunk)
+        });
+        for threads in [2, 5] {
+            let run = hec_tensor::parallel::with_thread_count(threads, || {
+                source.parse_chunked(text.as_bytes(), chunk)
+            });
+            match (&base, &run) {
+                (Ok(a), Ok(b)) => assert_corpora_eq(a, b, &format!("threads={threads}")),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.line(), b.line());
+                    assert_eq!(a.to_string(), b.to_string());
+                }
+                (a, b) => panic!("threads={threads}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -133,6 +133,55 @@ fn mhealth_bad_fails_with_the_golden_line_numbers() {
 }
 
 #[test]
+fn bom_prefixed_power_fixture_parses_identically() {
+    // `power_bom.csv` is `power_good.csv` with a UTF-8 BOM prepended;
+    // the readers strip the BOM from the file's first line only, so the
+    // two fixtures are the same corpus — serial and chunked alike.
+    let golden = power_good(MissingValuePolicy::Reject).load().unwrap();
+    let bom_source = PowerCsvSource::new(fixture("power_bom.csv"), SPD, MissingValuePolicy::Reject);
+    for corpus in [bom_source.load().unwrap(), bom_source.load_chunked().unwrap()] {
+        assert_eq!(corpus.len(), golden.len());
+        assert_eq!(corpus.classes, golden.classes);
+        for (a, b) in corpus.windows.iter().zip(golden.windows.iter()) {
+            assert_eq!(a.data, b.data);
+            assert_eq!(a.anomalous, b.anomalous);
+        }
+    }
+}
+
+#[test]
+fn chunked_load_matches_serial_on_every_fixture() {
+    // Clean fixtures: same corpus.
+    let serial = power_good(MissingValuePolicy::Reject).load().unwrap();
+    let chunked = power_good(MissingValuePolicy::Reject).load_chunked().unwrap();
+    assert_eq!(serial.classes, chunked.classes);
+    for (a, b) in serial.windows.iter().zip(chunked.windows.iter()) {
+        assert_eq!(a.data, b.data);
+    }
+    let serial = mhealth_good(MissingValuePolicy::Reject).load().unwrap();
+    let chunked = mhealth_good(MissingValuePolicy::Reject).load_chunked().unwrap();
+    assert_eq!(serial.classes, chunked.classes);
+    for (a, b) in serial.windows.iter().zip(chunked.windows.iter()) {
+        assert_eq!(a.data, b.data);
+    }
+
+    // Adversarial fixtures: same error, same line number, same message.
+    for policy in [MissingValuePolicy::Reject, MissingValuePolicy::ImputePrevious] {
+        let src = PowerCsvSource::new(fixture("power_bad.csv"), SPD, policy);
+        let serial = src.load().unwrap_err();
+        let chunked = src.load_chunked().unwrap_err();
+        assert_eq!(serial.line(), chunked.line(), "[{policy}]");
+        assert_eq!(serial.to_string(), chunked.to_string(), "[{policy}]");
+
+        let src = MhealthNdjsonSource::new(fixture("mhealth_bad.ndjson"), 4, 2, policy);
+        let serial = src.load().unwrap_err();
+        let chunked = src.load_chunked().unwrap_err();
+        assert_eq!(serial.line(), chunked.line(), "[{policy}]");
+        assert_eq!(serial.to_string(), chunked.to_string(), "[{policy}]");
+    }
+}
+
+#[test]
 fn missing_file_is_a_line_zero_io_error() {
     let err = PowerCsvSource::new(fixture("no_such_trace.csv"), SPD, MissingValuePolicy::Reject)
         .load()

@@ -43,6 +43,7 @@
 pub mod init;
 pub mod kernel;
 pub mod matrix;
+pub mod parallel;
 pub mod quantize;
 pub mod stats;
 pub mod vecops;

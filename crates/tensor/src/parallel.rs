@@ -84,7 +84,7 @@ pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 /// # Example
 ///
 /// ```rust
-/// let squares = hec_core::parallel::parallel_map(&[1, 2, 3, 4], |_, &x| x * x);
+/// let squares = hec_tensor::parallel::parallel_map(&[1, 2, 3, 4], |_, &x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
