@@ -488,6 +488,20 @@ impl AnomalyDetector for AutoencoderDetector {
     fn quant_mode(&self) -> Option<QuantMode> {
         self.quant_mode
     }
+
+    /// Re-fits the scorer (and threshold) on `calibration` through the
+    /// current forward path — weights untouched, so this costs one
+    /// forward pass per window. The same code path `fit` and
+    /// [`AutoencoderDetector::requantize`] calibrate through.
+    fn recalibrate(&mut self, calibration: &[LabeledWindow]) -> Result<f32, FitError> {
+        validate_training_set(calibration)?;
+        if self.scorer.is_none() {
+            return Err(FitError::InvalidTrainingSet {
+                reason: "recalibrate requires a fitted detector".into(),
+            });
+        }
+        self.calibrate(calibration)
+    }
 }
 
 impl std::fmt::Debug for AutoencoderDetector {
@@ -575,6 +589,46 @@ mod tests {
             r_iot.final_loss,
             r_cloud.final_loss
         );
+    }
+
+    #[test]
+    fn recalibrate_adapts_threshold_without_retraining() {
+        let mut det = AutoencoderDetector::new("ae", AeArchitecture::cloud(16), 1);
+        det.fit(&train_set(16), 120).unwrap();
+        let t0 = det.threshold().unwrap();
+
+        // A level-shifted regime: every window offset by +0.5. The frozen
+        // scorer flags these wholesale...
+        let shifted: Vec<LabeledWindow> = train_set(16)
+            .iter()
+            .map(|w| {
+                let v: Vec<f32> = w.data.as_slice().iter().map(|x| x + 0.5).collect();
+                LabeledWindow::new(Matrix::from_vec(16, 1, v), false)
+            })
+            .collect();
+        assert!(
+            det.detect(&shifted[0]).anomalous,
+            "shifted regime must look anomalous pre-refresh"
+        );
+
+        // ...recalibrating on the shifted (all-normal) regime adapts the
+        // scorer: same weights, new threshold, shifted windows pass again.
+        let t1 = det.recalibrate(&shifted).unwrap();
+        assert_ne!(t0, t1, "threshold must move with the regime");
+        assert_eq!(det.threshold(), Some(t1));
+        assert!(!det.detect(&shifted[0]).anomalous, "recalibrated regime must pass");
+
+        // Contract errors: anomalous calibration windows are refused.
+        let bad = vec![LabeledWindow::new(Matrix::from_vec(16, 1, vec![0.1; 16]), true)];
+        assert!(matches!(det.recalibrate(&bad), Err(FitError::InvalidTrainingSet { .. })));
+        assert!(matches!(det.recalibrate(&[]), Err(FitError::InvalidTrainingSet { .. })));
+    }
+
+    #[test]
+    fn recalibrate_requires_a_fitted_detector() {
+        let mut det = AutoencoderDetector::new("ae", AeArchitecture::iot(16), 1);
+        let err = det.recalibrate(&train_set(16)).unwrap_err();
+        assert!(err.to_string().contains("fitted"), "{err}");
     }
 
     #[test]

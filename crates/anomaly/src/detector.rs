@@ -135,6 +135,29 @@ pub trait AnomalyDetector {
     fn quant_mode(&self) -> Option<hec_nn::QuantMode> {
         None
     }
+
+    /// Recalibrates the logPD scorer and threshold on fresh **normal**
+    /// windows without retraining the model weights — the cheap half of
+    /// online adaptation: after a regime change the reconstruction-error
+    /// distribution shifts even once the standardiser is refit, and this
+    /// re-estimates the Gaussian score model and threshold from a recent
+    /// reservoir in one forward pass per window. Returns the new
+    /// threshold.
+    ///
+    /// The default refuses (not every detector supports it); the
+    /// autoencoder and seq2seq detectors override it.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::InvalidTrainingSet`] if `calibration` is empty,
+    /// contains anomalous windows, or the detector has not been fitted;
+    /// [`FitError::Scoring`] if the Gaussian fit fails.
+    fn recalibrate(&mut self, calibration: &[LabeledWindow]) -> Result<f32, FitError> {
+        let _ = calibration;
+        Err(FitError::InvalidTrainingSet {
+            reason: format!("{} does not support scorer recalibration", self.name()),
+        })
+    }
 }
 
 /// Validates the training-set contract shared by all detectors.

@@ -14,7 +14,10 @@
 //!   (i) some point's logPD below `factor ×` threshold (logPD is negative),
 //!   or (ii) more than `fraction` of the window's points anomalous;
 //! * [`catalog`] — the six-model catalog keyed by HEC layer, with the
-//!   metadata Table I reports (#parameters, layer placement).
+//!   metadata Table I reports (#parameters, layer placement);
+//! * [`drift`] — Page–Hinkley mean-shift detection on the score stream
+//!   and the sliding reservoir feeding cheap scorer recalibration
+//!   ([`AnomalyDetector::recalibrate`]) for online adaptation.
 //!
 //! All detectors implement the [`AnomalyDetector`] trait, which is what the
 //! model-selection schemes in `hec-core` consume.
@@ -25,12 +28,14 @@
 pub mod ae;
 pub mod catalog;
 pub mod detector;
+pub mod drift;
 pub mod scorer;
 pub mod seq2seq_detector;
 
 pub use ae::{AeArchitecture, AutoencoderDetector};
 pub use catalog::{HecLayer, ModelCatalog, ModelSpec};
 pub use detector::{AnomalyDetector, Detection, FitError, FitReport};
+pub use drift::{DriftDirection, PageHinkley, PageHinkleyConfig, SlidingReservoir};
 pub use hec_nn::{QuantMode, QuantScheme};
 pub use scorer::{ConfidenceRule, LogPdScorer, ScorerError, ThresholdRule};
 pub use seq2seq_detector::Seq2SeqDetector;

@@ -216,6 +216,32 @@ impl Seq2SeqDetector {
         let steps = self.deployed_steps(window);
         self.model.reconstruction_errors(&steps)
     }
+
+    /// Fits the logPD scorer (and threshold) on `calibration`'s
+    /// reconstruction errors through the current weights — shared by
+    /// `fit` and `recalibrate`.
+    fn calibrate_scorer(&mut self, calibration: &[LabeledWindow]) -> Result<f32, FitError> {
+        let per_window: Vec<Vec<Vec<f32>>> =
+            calibration.iter().map(|w| self.window_errors(w)).collect();
+        let all_errors: Vec<Vec<f32>> = per_window.iter().flatten().cloned().collect();
+        let mut scorer = LogPdScorer::fit_with_rule(&all_errors, 1e-4, self.threshold_rule)
+            .map_err(|e| match e {
+                crate::scorer::ScorerError::Gaussian(g) => FitError::Scoring(g),
+                crate::scorer::ScorerError::EmptyCalibrationSet => {
+                    FitError::InvalidTrainingSet { reason: "no calibration errors produced".into() }
+                }
+            })?;
+        if let ThresholdRule::WindowFpr(_) = self.threshold_rule {
+            let minima: Vec<f32> = per_window
+                .iter()
+                .map(|errs| errs.iter().map(|e| scorer.log_pd(e)).fold(f32::INFINITY, f32::min))
+                .collect();
+            scorer.set_threshold(self.threshold_rule.threshold(&minima));
+        }
+        let threshold = scorer.threshold();
+        self.scorer = Some(scorer);
+        Ok(threshold)
+    }
 }
 
 impl AnomalyDetector for Seq2SeqDetector {
@@ -258,24 +284,7 @@ impl AnomalyDetector for Seq2SeqDetector {
             });
         }
 
-        let per_window: Vec<Vec<Vec<f32>>> = train.iter().map(|w| self.window_errors(w)).collect();
-        let all_errors: Vec<Vec<f32>> = per_window.iter().flatten().cloned().collect();
-        let mut scorer = LogPdScorer::fit_with_rule(&all_errors, 1e-4, self.threshold_rule)
-            .map_err(|e| match e {
-                crate::scorer::ScorerError::Gaussian(g) => FitError::Scoring(g),
-                crate::scorer::ScorerError::EmptyCalibrationSet => {
-                    FitError::InvalidTrainingSet { reason: "no calibration errors produced".into() }
-                }
-            })?;
-        if let ThresholdRule::WindowFpr(_) = self.threshold_rule {
-            let minima: Vec<f32> = per_window
-                .iter()
-                .map(|errs| errs.iter().map(|e| scorer.log_pd(e)).fold(f32::INFINITY, f32::min))
-                .collect();
-            scorer.set_threshold(self.threshold_rule.threshold(&minima));
-        }
-        let threshold = scorer.threshold();
-        self.scorer = Some(scorer);
+        let threshold = self.calibrate_scorer(train)?;
         Ok(FitReport { epochs, final_loss, threshold })
     }
 
@@ -313,6 +322,19 @@ impl AnomalyDetector for Seq2SeqDetector {
 
     fn threshold(&self) -> Option<f32> {
         self.scorer.as_ref().map(|s| s.threshold())
+    }
+
+    /// Re-fits the scorer (and threshold) on `calibration` through the
+    /// current weights — one encoder/decoder pass per window, no
+    /// retraining. The same code path `fit` calibrates through.
+    fn recalibrate(&mut self, calibration: &[LabeledWindow]) -> Result<f32, FitError> {
+        validate_training_set(calibration)?;
+        if self.scorer.is_none() {
+            return Err(FitError::InvalidTrainingSet {
+                reason: "recalibrate requires a fitted detector".into(),
+            });
+        }
+        self.calibrate_scorer(calibration)
     }
 }
 
@@ -392,6 +414,36 @@ mod tests {
         let mut det_bi = small("s2s-bi", true, 12);
         let ctx_bi = det_bi.encode_context(&sine_window(0.4, 0.0, 12));
         assert_eq!(ctx_bi.len(), 24);
+    }
+
+    #[test]
+    fn recalibrate_refits_scorer_without_touching_weights() {
+        let mut det = small("s2s", false, 12);
+        det.fit(&train_set(), 60).unwrap();
+        let t0 = det.threshold().unwrap();
+        let params_before = det.param_count();
+
+        // Level-shift the regime; recalibrating on it must move the
+        // threshold while leaving the model untouched.
+        let shifted: Vec<LabeledWindow> = train_set()
+            .iter()
+            .map(|w| {
+                let v: Vec<f32> = w.data.as_slice().iter().map(|x| x + 1.5).collect();
+                LabeledWindow::new(Matrix::from_vec(w.data.rows(), w.data.cols(), v), false)
+            })
+            .collect();
+        let t1 = det.recalibrate(&shifted).unwrap();
+        assert_ne!(t0, t1);
+        assert_eq!(det.threshold(), Some(t1));
+        assert_eq!(det.param_count(), params_before);
+        assert!(!det.detect(&shifted[0]).anomalous, "recalibrated regime must pass");
+
+        // Unfitted detectors refuse.
+        let mut fresh = small("s2s2", false, 12);
+        assert!(matches!(
+            fresh.recalibrate(&train_set()),
+            Err(FitError::InvalidTrainingSet { .. })
+        ));
     }
 
     #[test]

@@ -118,6 +118,10 @@ pub struct PolicyTrainer {
     optimizer: Adam,
     rng: StdRng,
     config: TrainConfig,
+    /// Deferred `(context, action, reward)` observations for continual
+    /// mode: accumulated via [`PolicyTrainer::buffer`], applied FIFO by
+    /// [`PolicyTrainer::refresh`].
+    pending: Vec<(Vec<f32>, usize, f32)>,
 }
 
 impl PolicyTrainer {
@@ -129,6 +133,7 @@ impl PolicyTrainer {
             rng: StdRng::seed_from_u64(config.seed),
             policy,
             config,
+            pending: Vec::new(),
         }
     }
 
@@ -185,6 +190,36 @@ impl PolicyTrainer {
             self.config.entropy_beta,
             &mut self.optimizer,
         );
+    }
+
+    /// Continual mode, half one: queues a deferred observation without
+    /// updating anything. The streaming adaptation loop samples shadow
+    /// actions while a chunk replays through the fleet and buffers each
+    /// `(context, action, reward)` here; [`PolicyTrainer::refresh`]
+    /// applies them between chunks, so routing tables stay stable within
+    /// a chunk (the sharded replay driver requires a stateless router)
+    /// while the policy still learns inside the stream.
+    pub fn buffer(&mut self, context: Vec<f32>, action: usize, reward: f32) {
+        self.pending.push((context, action, reward));
+    }
+
+    /// Observations currently buffered.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Continual mode, half two: applies every buffered observation in
+    /// FIFO order through [`PolicyTrainer::observe`] (baseline update +
+    /// `reinforce_update`, PR 4's deferred-reward split) and clears the
+    /// buffer. Returns how many updates were applied. Deterministic:
+    /// same buffered sequence, same resulting weights.
+    pub fn refresh(&mut self) -> usize {
+        let pending = std::mem::take(&mut self.pending);
+        let n = pending.len();
+        for (context, action, reward) in pending {
+            self.observe(&context, action, reward);
+        }
+        n
     }
 
     /// Trains for `config.epochs` passes over `contexts`; the oracle is
@@ -390,6 +425,67 @@ mod tests {
         assert!(plain[1] > regularised[1], "{plain:?} vs {regularised:?}");
         assert!(regularised[1] > 0.5, "winner must still dominate: {regularised:?}");
         assert!(curve.final_reward() > 0.5, "regularised training still learns");
+    }
+
+    #[test]
+    fn buffered_refresh_matches_immediate_observes() {
+        // Continual mode is exactly the deferred-reward split batched:
+        // buffering a sequence and refreshing must produce the same
+        // weights as calling `observe` immediately in the same order.
+        let config = TrainConfig { learning_rate: 5e-3, ..Default::default() };
+        let obs: Vec<(Vec<f32>, usize, f32)> = (0..30)
+            .map(|i| {
+                let ctx = if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+                (ctx, i % 3, if i % 3 == 0 { 1.0 } else { -0.2 })
+            })
+            .collect();
+
+        let mut immediate = PolicyTrainer::new(PolicyNetwork::new(2, 16, 3, 5), config);
+        for (ctx, a, r) in &obs {
+            immediate.observe(ctx, *a, *r);
+        }
+
+        let mut buffered = PolicyTrainer::new(PolicyNetwork::new(2, 16, 3, 5), config);
+        for (ctx, a, r) in &obs {
+            buffered.buffer(ctx.clone(), *a, *r);
+        }
+        assert_eq!(buffered.pending_len(), obs.len());
+        assert_eq!(buffered.refresh(), obs.len());
+        assert_eq!(buffered.pending_len(), 0, "refresh drains the buffer");
+        assert_eq!(buffered.refresh(), 0, "empty refresh is a no-op");
+
+        assert_eq!(
+            immediate.policy_mut().weights_le_bytes(),
+            buffered.policy_mut().weights_le_bytes()
+        );
+    }
+
+    #[test]
+    fn continual_refresh_tracks_a_regime_change() {
+        // Pre-drift the best arm is 0; post-drift it is 2. Chunked
+        // buffer→refresh cycles must move the greedy choice. Pre-drift
+        // training is deliberately moderate: a fully saturated softmax
+        // cannot escape under REINFORCE (both the policy gradient and
+        // the entropy gradient scale with π(1−π) → 0), which is why the
+        // continual mode keeps a small entropy β in the stream.
+        let mut trainer = PolicyTrainer::new(
+            PolicyNetwork::new(2, 16, 3, 7),
+            TrainConfig { learning_rate: 5e-3, entropy_beta: 0.02, ..Default::default() },
+        );
+        let ctx = vec![0.7, 0.3];
+        for phase in 0..2 {
+            let best = if phase == 0 { 0 } else { 2 };
+            let chunks = if phase == 0 { 6 } else { 30 };
+            for _chunk in 0..chunks {
+                for _ in 0..20 {
+                    let a = trainer.sample_action(&ctx);
+                    let r = if a == best { 1.0 } else { -0.2 };
+                    trainer.buffer(ctx.clone(), a, r);
+                }
+                trainer.refresh();
+            }
+            assert_eq!(trainer.policy_mut().greedy(&ctx), best, "phase {phase}");
+        }
     }
 
     #[test]

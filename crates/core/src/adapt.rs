@@ -1,0 +1,552 @@
+//! Online adaptation under drift: the closed loop that keeps the
+//! pipeline calibrated while the input distribution moves.
+//!
+//! The offline pipeline ([`crate::experiment`]) fits its standardizer,
+//! detectors and policy once and freezes them. Under a regime change
+//! (sensor recalibration, seasonal level shift, fleet firmware update —
+//! modelled by `hec_data::DriftSchedule`) the frozen pipeline's layer-0
+//! anomalous-fraction stream shifts, detection quality collapses, and the
+//! bandit keeps routing on stale context statistics. This module closes
+//! the loop:
+//!
+//! 1. **Stream in chunks.** The raw (unstandardised) window stream is
+//!    processed chunk by chunk: standardise with the *current*
+//!    standardizer, precompute the oracle, and replay the chunk through
+//!    the sharded fleet engine ([`crate::replay`]) under the bandit
+//!    policy — so adaptation runs inside the same resumable DES loop as
+//!    every other scale experiment.
+//! 2. **Detect drift.** Each window's layer-0 anomalous-point fraction (a
+//!    bounded statistic the IoT-tier detector already computes) feeds a
+//!    Page–Hinkley mean-shift detector — O(1) per window, deterministic.
+//! 3. **Refresh in-fleet.** On an alarm (rate-limited by
+//!    [`AdaptConfig::min_refresh_gap`]): refit the standardizer from a
+//!    sliding reservoir of recent **raw** windows
+//!    (`hec_data::OnlineStandardizer`, Welford moments, no second pass
+//!    over history), re-standardise the reservoir, keep the windows the
+//!    cloud-tier model still deems normal (self-labelling — ground truth
+//!    is not available in deployment) and recalibrate every detector's
+//!    logPD scorer and threshold on them
+//!    ([`crate::Experiment::recalibrate_detectors`]) — no weight
+//!    retraining anywhere.
+//! 4. **Track the policy.** Independently of alarms, the bandit shadows
+//!    each chunk with sampled actions scored against the static delay
+//!    ladder, buffers the `(context, action, reward)` triples, and
+//!    applies them between chunks (`PolicyTrainer::buffer`/`refresh`) —
+//!    so the greedy routing table the fleet replays stays fixed *within*
+//!    a chunk (the sharded driver requires a stateless router) and moves
+//!    only at chunk boundaries.
+//!
+//! Everything is deterministic: same inputs ⇒ a byte-identical
+//! [`AdaptReport`] across reruns and `HEC_THREADS` settings (asserted in
+//! `tests/adapt_determinism.rs`).
+//!
+//! **Clock domains.** Drift detection and refresh run in *window-index*
+//! time (the ingestion clock); the fleet replay inside each chunk runs in
+//! *simulated* milliseconds (the DES clock). A refresh takes effect at
+//! the next chunk boundary, never mid-flight — matching a fleet where new
+//! calibration is pushed between reporting rounds.
+
+use hec_anomaly::{PageHinkley, PageHinkleyConfig, SlidingReservoir};
+use hec_bandit::{ContextScaler, DelaySource, PolicyTrainer, RewardModel, TrainConfig};
+use hec_data::{LabeledWindow, OnlineStandardizer};
+
+use crate::experiment::Experiment;
+use crate::replay::{replay_scenario, replay_trace_sharded};
+use crate::scheme::SchemeKind;
+
+/// Configuration of one adaptive (or deliberately frozen) streaming run.
+#[derive(Debug, Clone)]
+pub struct AdaptConfig {
+    /// Windows per chunk (refresh granularity; the routing table is
+    /// fixed within a chunk).
+    pub chunk: usize,
+    /// Fleet shards for the chunk replay (part of the simulated physics,
+    /// see [`crate::replay::replay_trace_sharded`]).
+    pub shards: usize,
+    /// Page–Hinkley parameters for the layer-0 score stream.
+    pub drift: PageHinkleyConfig,
+    /// Capacity of the raw-window reservoir feeding refreshes.
+    pub reservoir: usize,
+    /// Minimum chunks between two refreshes (alarm rate limiter).
+    pub min_refresh_gap: usize,
+    /// Refit the standardizer from the reservoir on alarm.
+    pub refresh_standardizer: bool,
+    /// Recalibrate detector scorers/thresholds on alarm.
+    pub recalibrate_detectors: bool,
+    /// Apply buffered policy updates at every chunk boundary.
+    pub refresh_policy: bool,
+    /// Hyper-parameters of the continual policy trainer (learning rate,
+    /// entropy regularisation, sampling seed). Ignored when
+    /// [`AdaptConfig::refresh_policy`] is `false`.
+    pub policy_train: TrainConfig,
+    /// Telemetry label distinguishing runs (e.g. `"frozen"` /
+    /// `"adaptive"`).
+    pub label: String,
+}
+
+impl AdaptConfig {
+    /// A fully frozen pipeline: same chunked replay and drift *detection*
+    /// (so both arms report the same statistic stream), but no refresh of
+    /// any kind — the paper's offline regime, used as the comparison
+    /// baseline.
+    pub fn frozen(chunk: usize, shards: usize) -> Self {
+        Self {
+            chunk,
+            shards,
+            drift: PageHinkleyConfig::default(),
+            // One chunk: at detection time (the chunk after a step
+            // onset) the reservoir then holds only post-shift windows,
+            // so the refit lands on the new regime instead of halfway
+            // between the old and new ones.
+            reservoir: chunk,
+            min_refresh_gap: 2,
+            refresh_standardizer: false,
+            recalibrate_detectors: false,
+            refresh_policy: false,
+            policy_train: TrainConfig::default(),
+            label: "frozen".into(),
+        }
+    }
+
+    /// The full adaptive pipeline: standardizer refit + detector
+    /// recalibration on alarm, continual policy refresh every chunk.
+    pub fn adaptive(chunk: usize, shards: usize) -> Self {
+        Self {
+            refresh_standardizer: true,
+            recalibrate_detectors: true,
+            refresh_policy: true,
+            policy_train: TrainConfig {
+                learning_rate: 5e-3,
+                entropy_beta: 0.02,
+                ..TrainConfig::default()
+            },
+            label: "adaptive".into(),
+            ..Self::frozen(chunk, shards)
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.chunk > 0, "chunk size must be positive");
+        assert!(self.shards > 0, "need at least one fleet shard");
+        assert!(self.reservoir > 0, "reservoir capacity must be positive");
+    }
+}
+
+/// Per-chunk outcome of the streaming loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkStats {
+    /// Chunk index (0-based, ingestion order).
+    pub index: usize,
+    /// Windows in this chunk.
+    pub windows: usize,
+    /// Detection F1 over the chunk's served windows.
+    pub f1: f64,
+    /// Detection accuracy over the chunk's served windows.
+    pub accuracy: f64,
+    /// `100 × mean(accuracy − cost)` over the chunk's routed windows,
+    /// at observed load-dependent delays (drops pay the drop penalty).
+    pub mean_reward_x100: f64,
+    /// Page–Hinkley statistic after the chunk's last window.
+    pub drift_statistic: f64,
+    /// Whether the drift detector alarmed during this chunk.
+    pub drift_alarm: bool,
+    /// Whether a refresh (standardizer and/or recalibration) executed at
+    /// this chunk's boundary.
+    pub refreshed: bool,
+    /// Buffered policy observations applied at this chunk's boundary.
+    pub policy_updates: usize,
+    /// The layer-0 logPD threshold in force *after* this chunk (moves
+    /// when recalibration fires).
+    pub threshold_iot: f32,
+}
+
+/// Result of one [`run_adaptive_stream`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptReport {
+    /// The run's telemetry label (from [`AdaptConfig::label`]).
+    pub label: String,
+    /// Per-chunk statistics, in stream order.
+    pub chunks: Vec<ChunkStats>,
+    /// Chunk indices where the drift detector alarmed.
+    pub detections: Vec<usize>,
+    /// Chunk indices where a refresh executed.
+    pub refreshes: Vec<usize>,
+    /// Total windows streamed.
+    pub total_windows: usize,
+}
+
+impl AdaptReport {
+    /// Recovery metrics relative to a known drift onset (the injection
+    /// harness knows where it put the drift; deployment would use the
+    /// first detection instead).
+    ///
+    /// The pre-onset chunks establish baseline F1 and reward; recovery is
+    /// the number of post-onset chunks until F1 first returns to within
+    /// `epsilon` of baseline (`None` if it never does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `onset_chunk` is 0 or ≥ the chunk count (no baseline or
+    /// no post-drift region to score).
+    pub fn recovery(&self, onset_chunk: usize, epsilon: f64) -> RecoveryStats {
+        assert!(
+            onset_chunk > 0 && onset_chunk < self.chunks.len(),
+            "onset chunk {onset_chunk} leaves no pre- or post-drift region in {} chunks",
+            self.chunks.len()
+        );
+        let (pre, post) = self.chunks.split_at(onset_chunk);
+        let mean = |xs: &[ChunkStats], f: fn(&ChunkStats) -> f64| {
+            xs.iter().map(f).sum::<f64>() / xs.len() as f64
+        };
+        let baseline_f1 = mean(pre, |c| c.f1);
+        let baseline_reward = mean(pre, |c| c.mean_reward_x100);
+        let recovery_chunks = post.iter().position(|c| c.f1 >= baseline_f1 - epsilon);
+        // Reward foregone post-onset vs the pre-drift baseline, in
+        // absolute reward units (the per-window mean is `x100`).
+        let cumulative_reward_loss = post
+            .iter()
+            .map(|c| (baseline_reward - c.mean_reward_x100).max(0.0) * c.windows as f64 / 100.0)
+            .sum();
+        RecoveryStats {
+            baseline_f1,
+            baseline_reward_x100: baseline_reward,
+            recovery_chunks,
+            cumulative_reward_loss,
+            post_f1: mean(post, |c| c.f1),
+            post_reward_x100: mean(post, |c| c.mean_reward_x100),
+        }
+    }
+}
+
+/// Recovery metrics of one run relative to a drift onset
+/// (see [`AdaptReport::recovery`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStats {
+    /// Mean F1 over the pre-onset chunks.
+    pub baseline_f1: f64,
+    /// Mean reward (×100) over the pre-onset chunks.
+    pub baseline_reward_x100: f64,
+    /// Post-onset chunks until F1 returned to within ε of baseline
+    /// (`Some(0)` = the first post-onset chunk already held), `None` if
+    /// it never recovered within the stream.
+    pub recovery_chunks: Option<usize>,
+    /// Total reward foregone post-onset vs baseline, in absolute reward
+    /// units (never negative; chunks above baseline contribute 0).
+    pub cumulative_reward_loss: f64,
+    /// Mean F1 over the post-onset chunks.
+    pub post_f1: f64,
+    /// Mean reward (×100) over the post-onset chunks.
+    pub post_reward_x100: f64,
+}
+
+/// Streams raw (unstandardised) windows through the experiment's
+/// pipeline in chunks, detecting drift and — per `config` — refreshing
+/// the standardizer, the detector calibration and the policy in-fleet.
+/// See the module docs for the loop structure.
+///
+/// `trainer` owns the routing policy (frozen runs never update it, so
+/// one trainer can serve a frozen run and then an adaptive run on the
+/// same weights); `scaler` is the context scaler the policy was trained
+/// with.
+///
+/// Deterministic: same inputs ⇒ a byte-identical [`AdaptReport`], across
+/// reruns and `HEC_THREADS`.
+///
+/// # Panics
+///
+/// Panics if `stream` is empty, if the config is invalid, or if the
+/// windows' shape does not match the experiment's dataset.
+pub fn run_adaptive_stream(
+    exp: &mut Experiment,
+    trainer: &mut PolicyTrainer,
+    scaler: &ContextScaler,
+    stream: &[LabeledWindow],
+    config: &AdaptConfig,
+) -> AdaptReport {
+    assert!(!stream.is_empty(), "cannot adapt over an empty stream");
+    config.validate();
+    let _span = hec_telemetry::WallSpan::new("core.adapt");
+
+    let kind = exp.config().dataset.kind();
+    let payload = exp.config().payload_bytes();
+    let reward = RewardModel::new(kind.paper_alpha());
+    let delays = exp.static_delays();
+
+    let mut ph = PageHinkley::new(config.drift);
+    let mut reservoir: SlidingReservoir<LabeledWindow> = SlidingReservoir::new(config.reservoir);
+    let mut chunks = Vec::with_capacity(stream.len().div_ceil(config.chunk));
+    let mut detections = Vec::new();
+    let mut refreshes = Vec::new();
+    let mut last_refresh: Option<usize> = None;
+
+    for (index, raw) in stream.chunks(config.chunk).enumerate() {
+        for w in raw {
+            reservoir.push(w.clone());
+        }
+
+        // Replay the chunk through the sharded fleet under the current
+        // calibration and the current greedy routing table.
+        let standardized = exp.standardize_windows(raw);
+        let oracle = exp.oracle_over(&standardized);
+        let scenario = replay_scenario(kind, payload, raw.len() as u64);
+        let result = replay_trace_sharded(
+            &scenario,
+            &oracle,
+            SchemeKind::Adaptive,
+            Some(trainer.policy_mut()),
+            Some(scaler),
+            &reward,
+            config.shards,
+        );
+
+        // Drift detection on the layer-0 anomalous-fraction stream.
+        let mut drift_alarm = false;
+        for outcome in &oracle.outcomes {
+            if ph.observe(outcome.anomalous_fraction[0]) {
+                drift_alarm = true;
+            }
+        }
+        if drift_alarm {
+            detections.push(index);
+        }
+
+        // Two-stage refresh on alarm, rate-limited.
+        let gap_ok = last_refresh.is_none_or(|c| index - c >= config.min_refresh_gap);
+        let want_refresh = config.refresh_standardizer || config.recalibrate_detectors;
+        let mut refreshed = false;
+        if drift_alarm && gap_ok && want_refresh {
+            if config.refresh_standardizer {
+                let mut online = OnlineStandardizer::new(exp.standardizer().channels());
+                for w in reservoir.iter() {
+                    online.update(&w.data);
+                }
+                exp.set_standardizer(online.freeze());
+                refreshed = true;
+            }
+            if config.recalibrate_detectors {
+                // Self-label the reservoir under the *new* standardizer:
+                // keep what the cloud-tier model still deems normal
+                // (ground truth is unavailable in deployment).
+                let raw_reservoir: Vec<LabeledWindow> = reservoir.iter().cloned().collect();
+                let std_reservoir = exp.standardize_windows(&raw_reservoir);
+                let reservoir_oracle = exp.oracle_over(&std_reservoir);
+                let normals: Vec<LabeledWindow> = std_reservoir
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !reservoir_oracle.verdict(*i, 2))
+                    .map(|(_, w)| LabeledWindow::new(w.data.clone(), false))
+                    .collect();
+                if !normals.is_empty() && exp.recalibrate_detectors(&normals).is_ok() {
+                    refreshed = true;
+                }
+            }
+            if refreshed {
+                ph.reset();
+                last_refresh = Some(index);
+                refreshes.push(index);
+            }
+        }
+
+        // Continual policy tracking: shadow the chunk with sampled
+        // actions against the static delay ladder, apply between chunks.
+        let mut policy_updates = 0;
+        if config.refresh_policy {
+            for (i, outcome) in oracle.outcomes.iter().enumerate() {
+                let context = scaler.transform(&outcome.context);
+                let action = trainer.sample_action(&context);
+                let delay = delays.delay_ms(i, action).expect("static delays never drop");
+                let r = reward.reward(oracle.correct(i, action), delay) as f32;
+                trainer.buffer(context, action, r);
+            }
+            policy_updates = trainer.refresh();
+        }
+
+        chunks.push(ChunkStats {
+            index,
+            windows: raw.len(),
+            f1: result.f1(),
+            accuracy: result.accuracy(),
+            mean_reward_x100: result.mean_reward_x100,
+            drift_statistic: ph.statistic(),
+            drift_alarm,
+            refreshed,
+            policy_updates,
+            threshold_iot: exp.thresholds()[0],
+        });
+    }
+
+    if hec_telemetry::ENABLED {
+        let labels: &[(&'static str, &str)] = &[("pipeline", &config.label)];
+        hec_telemetry::counter_add("drift.detections", labels, detections.len() as u64);
+        hec_telemetry::counter_add("adapt.refreshes", labels, refreshes.len() as u64);
+        hec_telemetry::counter_add(
+            "adapt.policy_updates",
+            labels,
+            chunks.iter().map(|c| c.policy_updates as u64).sum(),
+        );
+        hec_telemetry::gauge_set("adapt.chunks", labels, chunks.len() as f64);
+    }
+
+    AdaptReport {
+        label: config.label.clone(),
+        chunks,
+        detections,
+        refreshes,
+        total_windows: stream.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{DatasetConfig, Experiment, ExperimentConfig};
+    use hec_data::power::{PowerConfig, PowerGenerator};
+    use hec_data::{DatasetSource, DriftKind, DriftSchedule};
+
+    fn tiny_config(seed: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            dataset: DatasetConfig::Univariate(PowerConfig {
+                days: 120,
+                samples_per_day: 24,
+                anomaly_rate: 0.15,
+                noise_std: 0.03,
+                seed: 7,
+            }),
+            ad_epochs: 60,
+            policy: hec_bandit::TrainConfig {
+                epochs: 10,
+                learning_rate: 2e-3,
+                ..Default::default()
+            },
+            seq2seq_hidden: 8,
+            policy_hidden: 16,
+            seed,
+        }
+    }
+
+    /// A prepared experiment plus a drift-injected raw stream.
+    fn fixture() -> (Experiment, PolicyTrainer, ContextScaler, Vec<LabeledWindow>) {
+        let mut exp = Experiment::prepare(tiny_config(7));
+        exp.train_detectors();
+        let policy_corpus = exp.split.policy_train.clone();
+        let policy_oracle = exp.oracle_over(&policy_corpus);
+        let (policy, scaler, _curve) = exp.train_policy(&policy_oracle);
+        let trainer = PolicyTrainer::new(
+            policy,
+            hec_bandit::TrainConfig {
+                learning_rate: 5e-3,
+                entropy_beta: 0.02,
+                ..Default::default()
+            },
+        );
+
+        // A fresh raw corpus (different generator seed), drifted mid-way.
+        let base = PowerGenerator::new(PowerConfig {
+            days: 120,
+            samples_per_day: 24,
+            anomaly_rate: 0.15,
+            noise_std: 0.03,
+            seed: 11,
+        })
+        .load()
+        .unwrap();
+        let mut moments = OnlineStandardizer::new(1);
+        for w in &base.windows {
+            moments.update(&w.data);
+        }
+        let sigma = moments.freeze().std()[0];
+        let drift =
+            DriftSchedule { kind: DriftKind::Step, onset: 60, level: 1.5 * sigma, scale: 0.2 };
+        let stream = drift.apply(&base).windows;
+        (exp, trainer, scaler, stream)
+    }
+
+    #[test]
+    fn frozen_run_detects_but_never_refreshes() {
+        let (mut exp, mut trainer, scaler, stream) = fixture();
+        let mut config = AdaptConfig::frozen(20, 2);
+        config.drift.min_samples = 20;
+        let report = run_adaptive_stream(&mut exp, &mut trainer, &scaler, &stream, &config);
+        assert_eq!(report.total_windows, stream.len());
+        assert_eq!(report.chunks.len(), stream.len().div_ceil(20));
+        assert!(report.refreshes.is_empty(), "frozen must never refresh");
+        assert!(report.chunks.iter().all(|c| c.policy_updates == 0));
+        assert!(
+            !report.detections.is_empty(),
+            "a 1.5σ step must trip the drift detector: {report:?}"
+        );
+        // Detection must be post-onset (window 60 ⇒ chunk 3+).
+        assert!(report.detections[0] >= 3, "detections: {:?}", report.detections);
+        // Thresholds never move in a frozen run.
+        let t0 = report.chunks[0].threshold_iot;
+        assert!(report.chunks.iter().all(|c| c.threshold_iot == t0));
+    }
+
+    #[test]
+    fn adaptive_run_refreshes_after_detection() {
+        let (mut exp, mut trainer, scaler, stream) = fixture();
+        let mut config = AdaptConfig::adaptive(20, 2);
+        config.drift.min_samples = 20;
+        let report = run_adaptive_stream(&mut exp, &mut trainer, &scaler, &stream, &config);
+        assert!(!report.detections.is_empty());
+        assert!(!report.refreshes.is_empty(), "adaptive must refresh on alarm: {report:?}");
+        assert!(report.refreshes[0] >= report.detections[0]);
+        assert!(report.chunks.iter().any(|c| c.policy_updates > 0));
+        // Refresh must move the layer-0 threshold (recalibration) at the
+        // refresh chunk.
+        let refresh_chunk = report.refreshes[0];
+        if refresh_chunk > 0 {
+            let before = report.chunks[refresh_chunk - 1].threshold_iot;
+            let after = report.chunks[refresh_chunk].threshold_iot;
+            assert_ne!(before, after, "recalibration must re-estimate the threshold");
+        }
+    }
+
+    #[test]
+    fn adaptive_recovers_better_than_frozen() {
+        let (mut exp_f, mut trainer_f, scaler, stream) = fixture();
+        let mut frozen_cfg = AdaptConfig::frozen(20, 2);
+        frozen_cfg.drift.min_samples = 20;
+        let frozen = run_adaptive_stream(&mut exp_f, &mut trainer_f, &scaler, &stream, &frozen_cfg);
+
+        let (mut exp_a, mut trainer_a, scaler_a, stream_a) = fixture();
+        let mut adaptive_cfg = AdaptConfig::adaptive(20, 2);
+        adaptive_cfg.drift.min_samples = 20;
+        let adaptive =
+            run_adaptive_stream(&mut exp_a, &mut trainer_a, &scaler_a, &stream_a, &adaptive_cfg);
+
+        // Onset at window 60 / chunk 3.
+        let fr = frozen.recovery(3, 0.05);
+        let ar = adaptive.recovery(3, 0.05);
+        // Same pre-drift pipeline ⇒ same baseline.
+        assert_eq!(fr.baseline_f1, ar.baseline_f1);
+        assert!(
+            ar.post_f1 >= fr.post_f1,
+            "adaptive post-drift F1 {:.3} must not trail frozen {:.3}",
+            ar.post_f1,
+            fr.post_f1
+        );
+    }
+
+    #[test]
+    fn recovery_stats_are_sane() {
+        let (mut exp, mut trainer, scaler, stream) = fixture();
+        let mut config = AdaptConfig::frozen(20, 2);
+        config.drift.min_samples = 20;
+        let report = run_adaptive_stream(&mut exp, &mut trainer, &scaler, &stream, &config);
+        let r = report.recovery(3, 0.05);
+        assert!((0.0..=1.0).contains(&r.baseline_f1));
+        assert!(r.cumulative_reward_loss >= 0.0);
+        if let Some(k) = r.recovery_chunks {
+            assert!(k < report.chunks.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn empty_stream_is_rejected() {
+        let (mut exp, mut trainer, scaler, _stream) = fixture();
+        let config = AdaptConfig::frozen(20, 2);
+        run_adaptive_stream(&mut exp, &mut trainer, &scaler, &[], &config);
+    }
+}

@@ -6,7 +6,7 @@
 //! network on the policy-training split → evaluate all five schemes on the
 //! whole dataset (Tables I and II).
 
-use hec_anomaly::ModelCatalog;
+use hec_anomaly::{FitError, ModelCatalog};
 use hec_bandit::{
     ContextScaler, PolicyNetwork, PolicyTrainer, RewardModel, StaticDelays, TrainConfig,
     TrainingCurve,
@@ -219,6 +219,64 @@ impl Experiment {
     /// The calibrated testbed topology.
     pub fn topology(&self) -> &HecTopology {
         &self.topology
+    }
+
+    /// The per-channel standardizer currently bridging raw windows into
+    /// the detectors' space (fitted on the corpus' normal windows at
+    /// [`Experiment::prepare`] time, possibly refit since by online
+    /// adaptation).
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// Replaces the standardizer — the online-adaptation path: a refit
+    /// from a recent reservoir (see [`crate::adapt`]) takes effect for
+    /// every subsequent [`Experiment::standardize_windows`] call. The
+    /// detectors themselves are untouched; pair with
+    /// [`Experiment::recalibrate_detectors`] when the score distribution
+    /// moved too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `standardizer`'s channel count differs from the fitted
+    /// one.
+    pub fn set_standardizer(&mut self, standardizer: Standardizer) {
+        assert_eq!(
+            standardizer.channels(),
+            self.standardizer.channels(),
+            "replacement standardizer must keep the corpus channel count"
+        );
+        self.standardizer = standardizer;
+    }
+
+    /// The calibrated logPD thresholds currently in force (bottom-up),
+    /// as last set by [`Experiment::train_detectors`] or
+    /// [`Experiment::recalibrate_detectors`].
+    pub fn thresholds(&self) -> [f32; 3] {
+        self.thresholds
+    }
+
+    /// Recalibrates every detector's logPD scorer and threshold on fresh
+    /// **normal** windows without retraining weights — the cheap
+    /// in-fleet refresh of online adaptation. On success the experiment's
+    /// threshold table is updated and returned (bottom-up).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first detector's [`FitError`]; detectors earlier in
+    /// the ladder keep their new calibration in that case (callers treat
+    /// a failed refresh as "skip this round", and the next successful
+    /// refresh re-aligns all three).
+    pub fn recalibrate_detectors(
+        &mut self,
+        calibration: &[LabeledWindow],
+    ) -> Result<[f32; 3], FitError> {
+        let mut thresholds = self.thresholds;
+        for (layer, det) in self.catalog.detectors_mut().iter_mut().enumerate() {
+            thresholds[layer] = det.recalibrate(calibration)?;
+        }
+        self.thresholds = thresholds;
+        Ok(thresholds)
     }
 
     /// Replaces `layer`'s execution time in this experiment's topology —

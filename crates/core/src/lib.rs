@@ -27,6 +27,11 @@
 //! * [`parallel`] — scoped-thread helpers (`HEC_THREADS` override) behind
 //!   the parallel scheme evaluation and sweeps, with deterministic result
 //!   ordering;
+//! * [`adapt`] — online adaptation under drift: chunked streaming with
+//!   Page–Hinkley drift detection on the layer-0 score stream and
+//!   in-fleet refresh of the standardizer, the detector calibration and
+//!   the bandit policy — all inside the sharded replay loop, with
+//!   deterministic reports;
 //! * [`sharded`] — the parallel driver for the sharded fleet engine:
 //!   shards advance to conservative lookahead barriers on `HEC_THREADS`
 //!   workers and merge deterministically, scaling fleet scenarios to
@@ -36,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adapt;
 pub mod experiment;
 pub mod fleet_train;
 pub mod oracle;
@@ -50,6 +56,7 @@ pub mod stream;
 /// re-exported here so `hec_core::parallel::*` call sites keep working.
 pub use hec_tensor::parallel;
 
+pub use adapt::{run_adaptive_stream, AdaptConfig, AdaptReport, ChunkStats, RecoveryStats};
 pub use experiment::{
     static_delay_table, DatasetConfig, Experiment, ExperimentConfig, ExperimentReport,
 };

@@ -47,6 +47,46 @@ impl Default for PerturbConfig {
     }
 }
 
+/// Rejection of an invalid [`PerturbConfig`]: a negative or non-finite
+/// band half-width would silently manufacture NaN windows (`NaN * v` and
+/// `v + NaN` both poison every sample they touch) that the downstream
+/// standardiser would then reject one corpus later, far from the cause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbConfigError {
+    /// Which field was invalid (`"scale"` or `"jitter"`).
+    pub field: &'static str,
+    /// The offending value.
+    pub value: f32,
+}
+
+impl std::fmt::Display for PerturbConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid PerturbConfig: {} must be finite and non-negative, got {}",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for PerturbConfigError {}
+
+impl PerturbConfig {
+    /// Checks that both band half-widths are finite and non-negative.
+    /// [`amplify_corpus`] and [`AmplifiedSource::new`] call this and
+    /// panic with the error's message; validate explicitly at config
+    /// parse time to surface the problem as a value instead.
+    pub fn validate(&self) -> Result<(), PerturbConfigError> {
+        if !self.scale.is_finite() || self.scale < 0.0 {
+            return Err(PerturbConfigError { field: "scale", value: self.scale });
+        }
+        if !self.jitter.is_finite() || self.jitter < 0.0 {
+            return Err(PerturbConfigError { field: "jitter", value: self.jitter });
+        }
+        Ok(())
+    }
+}
+
 /// `splitmix64` step — the same generator the fleet scenarios use for
 /// deterministic derived streams.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -70,13 +110,15 @@ fn unit(state: &mut u64) -> f32 {
 /// # Panics
 ///
 /// Panics if `factor == 0` (an amplified corpus with no repetitions is
-/// a caller bug — use `Option` at the call site to express "off").
+/// a caller bug — use `Option` at the call site to express "off"), or
+/// if `perturb` fails [`PerturbConfig::validate`].
 pub fn amplify_corpus(
     base: &LabeledCorpus,
     factor: usize,
     perturb: &PerturbConfig,
 ) -> LabeledCorpus {
     assert!(factor >= 1, "amplification factor must be at least 1");
+    perturb.validate().unwrap_or_else(|e| panic!("{e}"));
     let mut windows = Vec::with_capacity(base.len() * factor);
     let mut classes = Vec::with_capacity(base.len() * factor);
     for rep in 0..factor {
@@ -127,9 +169,11 @@ impl<S: DatasetSource> AmplifiedSource<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `factor == 0`.
+    /// Panics if `factor == 0` or if `perturb` fails
+    /// [`PerturbConfig::validate`].
     pub fn new(base: S, factor: usize, perturb: PerturbConfig) -> Self {
         assert!(factor >= 1, "amplification factor must be at least 1");
+        perturb.validate().unwrap_or_else(|e| panic!("{e}"));
         Self { base, factor, perturb }
     }
 }
@@ -145,6 +189,115 @@ impl<S: DatasetSource> DatasetSource for AmplifiedSource<S> {
 
     fn load(&self) -> Result<LabeledCorpus, IngestError> {
         Ok(amplify_corpus(&self.base.load()?, self.factor, &self.perturb))
+    }
+}
+
+/// The temporal shape of an injected regime change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Full intensity from the onset window onward.
+    Step,
+    /// Intensity climbs linearly over `ramp_windows` windows after the
+    /// onset, then stays at 1.
+    Ramp {
+        /// Windows from onset until full intensity (must be ≥ 1).
+        ramp_windows: usize,
+    },
+    /// Alternating regimes: `period` drifted windows, `period` base
+    /// windows, repeating from the onset.
+    Recurring {
+        /// Half-cycle length in windows (must be ≥ 1).
+        period: usize,
+    },
+}
+
+/// A deterministic regime-change schedule, layered on top of
+/// [`PerturbConfig`] amplification: amplify first (replay-grade
+/// perturbation, labels truthful), then [`DriftSchedule::apply`] shifts
+/// the post-onset windows' level and scale — `v ↦ v·(1 + scale·I(w)) +
+/// level·I(w)` with intensity `I(w) ∈ [0, 1]` a pure function of the
+/// window index. The transform is affine and constant within a window,
+/// so within-window dynamics (what the detectors score) are preserved
+/// and **labels stay truthful**: an anomalous window is exactly as
+/// anomalous relative to a refit standardiser, while a pipeline frozen
+/// on pre-drift moments sees the whole stream shift.
+///
+/// Everything is keyed by the window index — no RNG — so the same
+/// schedule on the same corpus yields the same stream on any machine and
+/// at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSchedule {
+    /// Temporal shape of the shift.
+    pub kind: DriftKind,
+    /// First window index the shift touches.
+    pub onset: usize,
+    /// Additive level shift at full intensity, in raw data units.
+    pub level: f32,
+    /// Multiplicative scale shift at full intensity (`0.15` = +15%).
+    pub scale: f32,
+}
+
+impl DriftSchedule {
+    /// The shift intensity at window `w`, in `[0, 1]`.
+    pub fn intensity(&self, w: usize) -> f32 {
+        if w < self.onset {
+            return 0.0;
+        }
+        let since = w - self.onset;
+        match self.kind {
+            DriftKind::Step => 1.0,
+            DriftKind::Ramp { ramp_windows } => {
+                (((since + 1) as f32) / ramp_windows.max(1) as f32).min(1.0)
+            }
+            DriftKind::Recurring { period } => {
+                if (since / period.max(1)).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Applies the schedule to a corpus: window `w` becomes
+    /// `v·(1 + scale·I(w)) + level·I(w)`; labels and anomaly classes are
+    /// copied unchanged. Windows before the onset are cloned verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` or `scale` is non-finite, or if a `Ramp` /
+    /// `Recurring` kind has a zero span.
+    pub fn apply(&self, base: &LabeledCorpus) -> LabeledCorpus {
+        assert!(
+            self.level.is_finite() && self.scale.is_finite(),
+            "drift level/scale must be finite"
+        );
+        match self.kind {
+            DriftKind::Ramp { ramp_windows } => {
+                assert!(ramp_windows >= 1, "ramp_windows must be at least 1")
+            }
+            DriftKind::Recurring { period } => assert!(period >= 1, "period must be at least 1"),
+            DriftKind::Step => {}
+        }
+        let windows = base
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(w, window)| {
+                let i = self.intensity(w);
+                let data = if i == 0.0 {
+                    window.data.clone()
+                } else {
+                    let gain = 1.0 + self.scale * i;
+                    let offset = self.level * i;
+                    let values =
+                        window.data.as_slice().iter().map(|&v| v * gain + offset).collect();
+                    hec_tensor::Matrix::from_vec(window.data.rows(), window.data.cols(), values)
+                };
+                LabeledWindow::new(data, window.anomalous)
+            })
+            .collect();
+        LabeledCorpus::new(windows, base.classes.clone())
     }
 }
 
@@ -223,5 +376,103 @@ mod tests {
         // Different seed, different stream.
         let a3 = amplify_corpus(&b, 4, &PerturbConfig { seed: 7, ..cfg });
         assert_ne!(a1.windows[3].data.as_slice(), a3.windows[3].data.as_slice());
+    }
+
+    #[test]
+    fn perturb_config_validation_rejects_bad_half_widths() {
+        let ok = PerturbConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        for (cfg, field, value) in [
+            (PerturbConfig { scale: -0.1, ..ok }, "scale", -0.1f32),
+            (PerturbConfig { scale: f32::NAN, ..ok }, "scale", f32::NAN),
+            (PerturbConfig { scale: f32::INFINITY, ..ok }, "scale", f32::INFINITY),
+            (PerturbConfig { jitter: -1e-9, ..ok }, "jitter", -1e-9),
+            (PerturbConfig { jitter: f32::NEG_INFINITY, ..ok }, "jitter", f32::NEG_INFINITY),
+        ] {
+            let err = cfg.validate().unwrap_err();
+            assert_eq!(err.field, field);
+            assert!(err.value == value || (err.value.is_nan() && value.is_nan()));
+            assert!(err.to_string().contains(field), "message names the field: {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be finite")]
+    fn amplify_corpus_rejects_invalid_configs() {
+        let cfg = PerturbConfig { jitter: f32::NAN, ..PerturbConfig::default() };
+        let _ = amplify_corpus(&base(), 2, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be finite")]
+    fn amplified_source_rejects_invalid_configs() {
+        struct Never;
+        impl DatasetSource for Never {
+            fn name(&self) -> String {
+                "never".into()
+            }
+            fn channels(&self) -> usize {
+                1
+            }
+            fn load(&self) -> Result<LabeledCorpus, IngestError> {
+                unreachable!("validation fires before any load")
+            }
+        }
+        let cfg = PerturbConfig { scale: -1.0, ..PerturbConfig::default() };
+        let _ = AmplifiedSource::new(Never, 2, cfg);
+    }
+
+    fn sched(kind: DriftKind) -> DriftSchedule {
+        DriftSchedule { kind, onset: 2, level: 10.0, scale: 0.5 }
+    }
+
+    #[test]
+    fn drift_intensity_shapes() {
+        let step = sched(DriftKind::Step);
+        assert_eq!((step.intensity(0), step.intensity(1)), (0.0, 0.0));
+        assert_eq!((step.intensity(2), step.intensity(100)), (1.0, 1.0));
+
+        let ramp = sched(DriftKind::Ramp { ramp_windows: 4 });
+        assert_eq!(ramp.intensity(1), 0.0);
+        assert_eq!(ramp.intensity(2), 0.25);
+        assert_eq!(ramp.intensity(4), 0.75);
+        assert_eq!(ramp.intensity(5), 1.0);
+        assert_eq!(ramp.intensity(50), 1.0);
+
+        let rec = sched(DriftKind::Recurring { period: 3 });
+        assert_eq!(rec.intensity(1), 0.0);
+        // Windows 2..5 drifted, 5..8 base, 8..11 drifted again.
+        assert_eq!((rec.intensity(2), rec.intensity(4)), (1.0, 1.0));
+        assert_eq!((rec.intensity(5), rec.intensity(7)), (0.0, 0.0));
+        assert_eq!(rec.intensity(8), 1.0);
+    }
+
+    #[test]
+    fn drift_apply_shifts_values_and_keeps_labels_truthful() {
+        let b = base(); // windows of constant 1.0 / 2.0 / 3.0, labels F/T/F
+        let s = DriftSchedule { kind: DriftKind::Step, onset: 1, level: 10.0, scale: 0.5 };
+        let d = s.apply(&b);
+        assert_eq!(d.len(), b.len());
+        // Pre-onset window verbatim.
+        assert_eq!(d.windows[0].data.as_slice(), b.windows[0].data.as_slice());
+        // Post-onset: v * 1.5 + 10.
+        assert_eq!(d.windows[1].data.as_slice(), &[13.0f32; 6][..]);
+        assert_eq!(d.windows[2].data.as_slice(), &[14.5f32; 6][..]);
+        // Labels and classes untouched.
+        let labels: Vec<bool> = d.windows.iter().map(|w| w.anomalous).collect();
+        assert_eq!(labels, vec![false, true, false]);
+        assert_eq!(d.classes, b.classes);
+        // Pure function of the window index: reapplying is identical.
+        let d2 = s.apply(&b);
+        for (x, y) in d.windows.iter().zip(&d2.windows) {
+            assert_eq!(x.data.as_slice(), y.data.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn drift_apply_rejects_non_finite_shift() {
+        let s = DriftSchedule { kind: DriftKind::Step, onset: 0, level: f32::NAN, scale: 0.0 };
+        let _ = s.apply(&base());
     }
 }

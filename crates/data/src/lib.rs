@@ -28,7 +28,12 @@
 //! * [`amplify`] — deterministic trace amplification: a checked-in
 //!   fixture corpus times a repetition factor (rep 0 verbatim, later
 //!   reps splitmix64-perturbed per window/channel) becomes an
-//!   engine-scale stream for the sharded fleet to ingest,
+//!   engine-scale stream for the sharded fleet to ingest, plus
+//!   deterministic regime-change schedules ([`DriftSchedule`]) for the
+//!   online-adaptation experiments,
+//! * [`online`] — streaming Welford/parallel-merge standardisation
+//!   moments ([`OnlineStandardizer`]) whose `freeze()` matches the
+//!   batch fit,
 //! * [`window`] — labelled windows and sliding-window extraction,
 //! * [`standardize`] — zero-mean/unit-variance per-channel scaling ("the data
 //!   is standardized to zero mean and unit variance", §III-A),
@@ -44,15 +49,19 @@ pub mod amplify;
 pub mod ingest;
 pub mod metrics;
 pub mod mhealth;
+pub mod online;
 pub mod power;
 pub mod source;
 pub mod split;
 pub mod standardize;
 pub mod window;
 
-pub use amplify::{amplify_corpus, AmplifiedSource, PerturbConfig};
+pub use amplify::{
+    amplify_corpus, AmplifiedSource, DriftKind, DriftSchedule, PerturbConfig, PerturbConfigError,
+};
 pub use metrics::BinaryConfusion;
 pub use mhealth::{Activity, MhealthConfig, MhealthGenerator};
+pub use online::OnlineStandardizer;
 pub use power::{PowerConfig, PowerGenerator};
 pub use source::{DatasetSource, IngestError, LabeledCorpus};
 pub use split::{paper_split, PaperSplit};

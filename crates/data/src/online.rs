@@ -1,0 +1,264 @@
+//! Incremental (streaming) standardisation statistics.
+//!
+//! The batch [`Standardizer`] fits on a corpus it can see all at once;
+//! an unbounded device stream cannot afford that. [`OnlineStandardizer`]
+//! accumulates per-channel moments one matrix (or one chunk) at a time
+//! using Welford's numerically stable update, and chunk accumulators
+//! combine with the parallel merge of Chan et al. — so a sharded
+//! ingestion path can fit per-shard and merge, order-independently up to
+//! floating-point association.
+//!
+//! [`OnlineStandardizer::freeze`] converts the running moments into a
+//! regular [`Standardizer`] with the **same semantics as the batch fit**
+//! (population standard deviation, `σ = 1` fallback for zero-variance
+//! channels, rejection of non-finite samples): on any corpus, a
+//! one-pass or chunk-merged online fit agrees with
+//! [`Standardizer::fit`] on the stacked corpus to within `1e-3`
+//! absolute / `1e-3` relative per channel (the batch path's own f32
+//! summation error dominates the gap — the online accumulators run in
+//! f64). The agreement, including the NaN/±inf rejection paths, is
+//! pinned by the property tests in `tests/online_props.rs`.
+
+use hec_tensor::Matrix;
+
+use crate::standardize::{NonFiniteError, Standardizer};
+
+/// Running per-channel mean/variance moments (Welford accumulators).
+///
+/// # Example
+///
+/// ```rust
+/// use hec_data::{OnlineStandardizer, Standardizer};
+/// use hec_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[0.0, 10.0], &[2.0, 14.0]]);
+/// let b = Matrix::from_rows(&[&[4.0, 18.0]]);
+/// let mut on = OnlineStandardizer::new(2);
+/// on.update(&a);
+/// on.update(&b);
+/// let frozen = on.freeze();
+/// let batch = Standardizer::fit(&a.vconcat(&b));
+/// for (x, y) in frozen.mean().iter().zip(batch.mean()) {
+///     assert!((x - y).abs() < 1e-3);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineStandardizer {
+    /// Rows (timesteps) absorbed so far.
+    count: u64,
+    /// Running per-channel mean.
+    mean: Vec<f64>,
+    /// Running per-channel sum of squared deviations from the mean.
+    m2: Vec<f64>,
+}
+
+impl OnlineStandardizer {
+    /// An empty accumulator over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "cannot standardise zero channels");
+        Self { count: 0, mean: vec![0.0; channels], m2: vec![0.0; channels] }
+    }
+
+    /// Number of channels this accumulator tracks.
+    pub fn channels(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Rows absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Absorbs every row of a `time × channels` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from [`Self::channels`], or
+    /// with a [`NonFiniteError`] message if `data` contains NaN or ±∞
+    /// (use [`Self::try_update`] to handle the error instead).
+    pub fn update(&mut self, data: &Matrix) {
+        self.try_update(data).unwrap_or_else(|e| panic!("OnlineStandardizer::update: {e}"));
+    }
+
+    /// Fallible [`Self::update`]: like [`Standardizer::try_fit`], the
+    /// whole matrix is scanned first and rejected **atomically** — on
+    /// error (positions local to `data`) no row has been absorbed, so a
+    /// caller can drop the offending chunk and continue the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the accumulator's (a
+    /// caller bug, not a data defect).
+    pub fn try_update(&mut self, data: &Matrix) -> Result<(), NonFiniteError> {
+        assert_eq!(data.cols(), self.channels(), "channel count mismatch");
+        if let Some(e) = crate::standardize::first_non_finite(data) {
+            return Err(e);
+        }
+        for row in data.iter_rows() {
+            self.count += 1;
+            let n = self.count as f64;
+            for (c, &x) in row.iter().enumerate() {
+                let x = x as f64;
+                let delta = x - self.mean[c];
+                self.mean[c] += delta / n;
+                self.m2[c] += delta * (x - self.mean[c]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another accumulator into this one (Chan et al.'s parallel
+    /// combination of moments): the result is equivalent to having
+    /// absorbed both accumulators' rows, in any order, up to
+    /// floating-point association.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel counts differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.channels(), other.channels(), "channel count mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let n = na + nb;
+        for c in 0..self.channels() {
+            let delta = other.mean[c] - self.mean[c];
+            self.mean[c] += delta * (nb / n);
+            self.m2[c] += other.m2[c] + delta * delta * (na * nb / n);
+        }
+        self.count += other.count;
+    }
+
+    /// Freezes the running moments into a batch-semantics
+    /// [`Standardizer`]: population standard deviation (`m2 / n`), and
+    /// `σ = 1` for zero-variance channels so transforming them maps to 0
+    /// (the same fallback [`Standardizer::fit`] applies). See the module
+    /// docs for the documented agreement precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rows have been absorbed.
+    pub fn freeze(&self) -> Standardizer {
+        assert!(self.count > 0, "cannot freeze an empty OnlineStandardizer");
+        let n = self.count as f64;
+        let mean: Vec<f32> = self.mean.iter().map(|&m| m as f32).collect();
+        let std: Vec<f32> = self
+            .m2
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt() as f32;
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Standardizer::from_moments(mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn one_pass_matches_batch_fit() {
+        let data = mat(&[&[1.0, -2.0], &[0.5, 4.0], &[2.0, 1.0], &[-3.0, 0.5]]);
+        let mut on = OnlineStandardizer::new(2);
+        on.update(&data);
+        assert_eq!(on.count(), 4);
+        let frozen = on.freeze();
+        let batch = Standardizer::fit(&data);
+        for c in 0..2 {
+            assert!((frozen.mean()[c] - batch.mean()[c]).abs() < 1e-5);
+            assert!((frozen.std()[c] - batch.std()[c]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn chunked_then_merged_matches_batch_fit() {
+        let a = mat(&[&[1.0], &[2.0]]);
+        let b = mat(&[&[10.0], &[11.0], &[12.0]]);
+        let mut left = OnlineStandardizer::new(1);
+        left.update(&a);
+        let mut right = OnlineStandardizer::new(1);
+        right.update(&b);
+        left.merge(&right);
+        let frozen = left.freeze();
+        let batch = Standardizer::fit(&a.vconcat(&b));
+        assert!((frozen.mean()[0] - batch.mean()[0]).abs() < 1e-5);
+        assert!((frozen.std()[0] - batch.std()[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_other_side() {
+        let data = mat(&[&[3.0], &[5.0]]);
+        let mut filled = OnlineStandardizer::new(1);
+        filled.update(&data);
+        let mut empty = OnlineStandardizer::new(1);
+        empty.merge(&filled);
+        assert_eq!(empty, filled);
+        // ... and merging an empty accumulator is a no-op.
+        let before = filled.clone();
+        filled.merge(&OnlineStandardizer::new(1));
+        assert_eq!(filled, before);
+    }
+
+    #[test]
+    fn constant_channel_freezes_to_unit_sigma() {
+        let mut on = OnlineStandardizer::new(1);
+        on.update(&mat(&[&[5.0], &[5.0], &[5.0]]));
+        let frozen = on.freeze();
+        assert_eq!(frozen.std()[0], 1.0);
+        let batch = Standardizer::fit(&mat(&[&[5.0], &[5.0], &[5.0]]));
+        assert_eq!(frozen.std()[0], batch.std()[0]);
+    }
+
+    #[test]
+    fn try_update_rejects_non_finite_atomically() {
+        let mut on = OnlineStandardizer::new(2);
+        on.update(&mat(&[&[1.0, 2.0]]));
+        let before = on.clone();
+        let err = on.try_update(&mat(&[&[3.0, 4.0], &[f32::NAN, 5.0]])).unwrap_err();
+        assert_eq!(err, NonFiniteError { row: 1, col: 0 });
+        // The clean leading row must NOT have been absorbed.
+        assert_eq!(on, before);
+        // The error position matches the batch path's.
+        let batch_err = Standardizer::try_fit(&mat(&[&[3.0, 4.0], &[f32::NAN, 5.0]])).unwrap_err();
+        assert_eq!(err, batch_err);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn update_panics_with_clear_message_on_inf() {
+        let mut on = OnlineStandardizer::new(1);
+        on.update(&mat(&[&[f32::INFINITY]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn mismatched_channels_panic() {
+        let mut on = OnlineStandardizer::new(2);
+        on.update(&mat(&[&[1.0, 2.0, 3.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot freeze")]
+    fn freezing_empty_panics() {
+        let _ = OnlineStandardizer::new(1).freeze();
+    }
+}

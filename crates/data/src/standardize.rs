@@ -34,7 +34,7 @@ impl std::fmt::Display for NonFiniteError {
 impl std::error::Error for NonFiniteError {}
 
 /// Returns the position of the first non-finite entry, if any.
-fn first_non_finite(data: &Matrix) -> Option<NonFiniteError> {
+pub(crate) fn first_non_finite(data: &Matrix) -> Option<NonFiniteError> {
     for (r, row) in data.iter_rows().enumerate() {
         for (c, &x) in row.iter().enumerate() {
             if !x.is_finite() {
@@ -118,6 +118,16 @@ impl Standardizer {
             })
             .collect();
         Ok(Self { mean, std })
+    }
+
+    /// Builds a standardiser from already-computed moments. Callers
+    /// (the streaming `OnlineStandardizer::freeze`) are responsible for
+    /// the fit invariants: `std` strictly positive (`σ = 1` fallback
+    /// already applied) and both vectors the same length.
+    pub(crate) fn from_moments(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        debug_assert_eq!(mean.len(), std.len());
+        debug_assert!(std.iter().all(|&s| s > 0.0));
+        Self { mean, std }
     }
 
     /// Number of channels this standardiser was fitted on.

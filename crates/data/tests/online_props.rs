@@ -1,0 +1,130 @@
+//! Property tests pinning the documented agreement between
+//! [`OnlineStandardizer`] and the batch [`Standardizer::fit`]: on random
+//! corpora, a one-pass online fit and a chunk-merged online fit both
+//! freeze to the batch statistics within `1e-3` absolute / `1e-3`
+//! relative per channel, and the NaN/±inf rejection paths report the
+//! same first offending position as `try_fit`.
+
+use proptest::prelude::*;
+
+use hec_data::{OnlineStandardizer, Standardizer};
+use hec_tensor::Matrix;
+
+const ABS_TOL: f32 = 1e-3;
+const REL_TOL: f32 = 1e-3;
+const MAX_ROWS: usize = 40;
+const MAX_COLS: usize = 6;
+
+fn assert_close(kind: &str, c: usize, online: f32, batch: f32) {
+    let tol = ABS_TOL + REL_TOL * batch.abs();
+    assert!(
+        (online - batch).abs() <= tol,
+        "{kind}[{c}]: online {online} vs batch {batch} (tol {tol})"
+    );
+}
+
+fn assert_freeze_matches_batch(frozen: &Standardizer, batch: &Standardizer) {
+    for c in 0..batch.channels() {
+        assert_close("mean", c, frozen.mean()[c], batch.mean()[c]);
+        assert_close("std", c, frozen.std()[c], batch.std()[c]);
+    }
+}
+
+/// Builds a `rows × cols` matrix from a flat value pool (the vendored
+/// proptest has no `prop_flat_map`, so dimensions and values are drawn
+/// independently and the pool is sliced to size).
+fn matrix_from_pool(rows: usize, cols: usize, pool: &[f32]) -> Matrix {
+    Matrix::from_vec(rows, cols, pool[..rows * cols].to_vec())
+}
+
+/// Splits a matrix's rows into `k` contiguous chunks.
+fn row_chunks(data: &Matrix, k: usize) -> Vec<Matrix> {
+    let rows = data.rows();
+    let per = rows.div_ceil(k.max(1));
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + per).min(rows);
+        let mut values = Vec::with_capacity((end - start) * data.cols());
+        for r in start..end {
+            values.extend_from_slice(data.row(r));
+        }
+        out.push(Matrix::from_vec(end - start, data.cols(), values));
+        start = end;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One-pass online fit == batch fit (within documented tolerance).
+    #[test]
+    fn one_pass_agrees_with_batch_fit(
+        dims in (1usize..=MAX_ROWS, 1usize..=MAX_COLS),
+        pool in collection::vec(-50.0f32..50.0, MAX_ROWS * MAX_COLS),
+    ) {
+        let data = matrix_from_pool(dims.0, dims.1, &pool);
+        let mut on = OnlineStandardizer::new(data.cols());
+        on.update(&data);
+        prop_assert_eq!(on.count(), data.rows() as u64);
+        assert_freeze_matches_batch(&on.freeze(), &Standardizer::fit(&data));
+    }
+
+    /// Chunk-merged online fit == batch fit, for arbitrary chunkings:
+    /// per-chunk accumulators combined with `merge` freeze to the same
+    /// statistics as one batch fit over the stacked rows.
+    #[test]
+    fn chunk_merged_agrees_with_batch_fit(
+        dims in (1usize..=MAX_ROWS, 1usize..=MAX_COLS),
+        pool in collection::vec(-50.0f32..50.0, MAX_ROWS * MAX_COLS),
+        k in 1usize..8,
+    ) {
+        let data = matrix_from_pool(dims.0, dims.1, &pool);
+        let batch = Standardizer::fit(&data);
+
+        let mut acc = OnlineStandardizer::new(data.cols());
+        for chunk in row_chunks(&data, k) {
+            let mut part = OnlineStandardizer::new(data.cols());
+            part.update(&chunk);
+            acc.merge(&part);
+        }
+        prop_assert_eq!(acc.count(), data.rows() as u64);
+        assert_freeze_matches_batch(&acc.freeze(), &batch);
+
+        // Feeding the chunks into ONE accumulator sequentially must
+        // agree too (same stream, different association).
+        let mut seq = OnlineStandardizer::new(data.cols());
+        for chunk in row_chunks(&data, k) {
+            seq.update(&chunk);
+        }
+        assert_freeze_matches_batch(&seq.freeze(), &batch);
+    }
+
+    /// The rejection paths match `try_fit`: poisoning one sample makes
+    /// `try_update` report the same (row, col) as the batch fit on the
+    /// same matrix, for NaN and both infinities — and the accumulator
+    /// state is untouched by the failed update.
+    #[test]
+    fn non_finite_rejection_matches_try_fit(
+        dims in (1usize..=MAX_ROWS, 1usize..=MAX_COLS),
+        pool in collection::vec(-50.0f32..50.0, MAX_ROWS * MAX_COLS),
+        pos in (any::<usize>(), any::<usize>()),
+        bad_kind in 0usize..3,
+    ) {
+        let data = matrix_from_pool(dims.0, dims.1, &pool);
+        let (r, c) = (pos.0 % data.rows(), pos.1 % data.cols());
+        let bad = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][bad_kind];
+        let mut values = data.as_slice().to_vec();
+        values[r * data.cols() + c] = bad;
+        let poisoned = Matrix::from_vec(data.rows(), data.cols(), values);
+
+        let batch_err = Standardizer::try_fit(&poisoned).unwrap_err();
+        let mut on = OnlineStandardizer::new(data.cols());
+        on.update(&data); // pre-load some clean state
+        let before = on.clone();
+        let online_err = on.try_update(&poisoned).unwrap_err();
+        prop_assert_eq!(online_err, batch_err);
+        prop_assert_eq!(on, before, "failed update must not absorb rows");
+    }
+}
